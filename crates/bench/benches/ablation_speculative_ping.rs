@@ -1,0 +1,63 @@
+//! **Ablation — speculative pings (Section 4.2).**
+//!
+//! "As an optimization to speed up recovery triggering, nodes speculatively
+//! send ping packets to their immediate neighbors before performing the cwn
+//! exploration. We have found that in FLASH this heuristic can lead to a
+//! fivefold increase in the speed at which recovery is triggered."
+//!
+//! This bench measures the trigger-wave latency (time from the first
+//! trigger until every live node has entered recovery) with and without
+//! speculative pings, across machine sizes. Without speculation, the wave
+//! advances only after each node's processor has been dropped into the
+//! recovery code and started exploring.
+
+use flash_bench::{banner, Stopwatch};
+use flash_core::{build_machine, RecoveryConfig};
+use flash_machine::{FaultSpec, Idle, MachineParams};
+use flash_net::NodeId;
+use flash_sim::{SimDuration, SimTime};
+
+/// Wave latency isolated from independent detection: one node receives a
+/// false-alarm trigger on an otherwise idle machine, so every other node
+/// can only learn about the recovery through the ping wave.
+fn wave_ms(n: usize, speculative: bool, seed: u64) -> f64 {
+    let mut params = MachineParams::table_5_1();
+    params.n_nodes = n;
+    let recovery = RecoveryConfig { speculative_pings: speculative, ..Default::default() };
+    let mut m = build_machine(params, recovery, |_| Box::new(Idle), seed);
+    m.start();
+    m.schedule_fault(SimTime::from_nanos(1_000), FaultSpec::FalseAlarm(NodeId(0)));
+    m.run_for(SimDuration::from_secs(2));
+    let report = &m.ext().report;
+    assert!(report.completed(), "n={n} speculative={speculative}: {report:?}");
+    report
+        .trigger_wave_time()
+        .expect("wave completed")
+        .as_millis_f64()
+}
+
+fn main() {
+    banner(
+        "Ablation: speculative pings",
+        "Teodosiu et al., ISCA'97, Section 4.2 (~5x faster recovery triggering)",
+    );
+    let sw = Stopwatch::start();
+    println!(
+        "{:>6} {:>16} {:>16} {:>10}",
+        "nodes", "wave w/o [ms]", "wave with [ms]", "speedup"
+    );
+    for &n in &[8usize, 16, 32, 64, 128] {
+        let without = wave_ms(n, false, 31);
+        let with = wave_ms(n, true, 31);
+        println!(
+            "{n:>6} {without:>16.3} {with:>16.3} {:>9.2}x",
+            without / with.max(1e-9)
+        );
+    }
+    println!("\npaper: ~5x faster triggering with speculative pings.");
+    println!("note: our speedup is larger because the model lets MAGIC forward");
+    println!("speculative pings before the processor finishes dropping into the");
+    println!("recovery code (drop-in ~0.5 ms dominates the non-speculative wave);");
+    println!("the qualitative claim — the wave no longer serializes on per-node");
+    println!("recovery entry — reproduces.   [{:.1}s host]", sw.secs());
+}

@@ -1,0 +1,61 @@
+//! **Host-side simulator throughput (Criterion).**
+//!
+//! Not a paper result: wall-clock benchmarks of the simulator itself, so
+//! regressions in the reproduction's performance are visible. Measures
+//! normal-mode simulation throughput (with the containment features on and
+//! off — they should cost nothing at the host level either) and the
+//! latency of one full fault-recovery cycle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_core::{build_machine, run_fault_experiment, ExperimentConfig, RecoveryConfig};
+use flash_machine::{FaultSpec, MachineParams, RandomFill};
+use flash_net::NodeId;
+use flash_sim::SimTime;
+
+fn normal_mode_events(firewall: bool) -> u64 {
+    let mut params = MachineParams::table_5_1();
+    params.magic.firewall_enabled = firewall;
+    let layout = params.layout();
+    let prot = params.protected_lines;
+    let mut m = build_machine(
+        params,
+        RecoveryConfig::default(),
+        move |_| Box::new(RandomFill::valid_system_range(2_000, 0.5, layout, prot)),
+        5,
+    );
+    m.start();
+    m.run_until(SimTime::MAX);
+    m.events_processed()
+}
+
+fn bench_normal_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_mode_16k_ops");
+    group.sample_size(10);
+    for firewall in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("firewall", firewall),
+            &firewall,
+            |b, &fw| b.iter(|| normal_mode_events(fw)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_recovery_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_fault_recovery_cycle");
+    group.sample_size(10);
+    group.bench_function("node_failure_8_nodes", |b| {
+        b.iter(|| {
+            let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), 9);
+            cfg.fill_ops = 500;
+            cfg.total_ops = 1_500;
+            let out = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(3)));
+            assert!(out.passed());
+            out.end_time
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_mode, bench_recovery_cycle);
+criterion_main!(benches);

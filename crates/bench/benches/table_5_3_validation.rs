@@ -1,0 +1,80 @@
+//! **Table 5.3 — Validation experiments.**
+//!
+//! The paper ran 200 stand-alone validation experiments per fault type on
+//! the 8-node configuration of Table 5.1 and observed 0 failures: after
+//! recovery, every accessible line held correct data and no more lines were
+//! marked incoherent than necessary. This bench regenerates the table.
+//!
+//! Run counts scale with `FLASH_RUNS` (default 200 per type, as in the
+//! paper; set lower for a quick pass).
+
+use crossbeam::thread;
+use flash_bench::{banner, runs_from_env, Stopwatch};
+use flash_core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
+use flash_machine::MachineParams;
+use flash_sim::DetRng;
+use parking_lot::Mutex;
+
+fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
+    let failures = Mutex::new(0u64);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= runs {
+                    return;
+                }
+                let params = MachineParams::table_5_1();
+                let mut rng = DetRng::new(seed.wrapping_mul(0x9E3779B9) ^ kind as u64);
+                let fault = random_fault(kind, params.n_nodes, &mut rng);
+                let mut cfg = ExperimentConfig::new(params, seed);
+                cfg.fill_ops = 1_500; // fill at least half the (1 MB) caches'
+                cfg.total_ops = 4_000; // worth of touched lines, then keep running
+                let out = run_fault_experiment(&cfg, fault.clone());
+                if !out.passed() {
+                    let mut f = failures.lock();
+                    *f += 1;
+                    eprintln!(
+                        "FAILURE {kind:?} seed {seed} {fault:?}: {} (recovery completed: {})",
+                        out.validation,
+                        out.recovery.completed()
+                    );
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    (runs, failures.into_inner())
+}
+
+fn main() {
+    banner(
+        "Table 5.3: validation experiments",
+        "Teodosiu et al., ISCA'97, Table 5.3 (200 runs per fault type, 0 failures)",
+    );
+    let runs = runs_from_env(200);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let sw = Stopwatch::start();
+    println!("{:<38} {:>14} {:>22}", "Injected fault type", "# of", "# of failed");
+    println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
+    let rows = [
+        (FaultKind::Node, "Node failure"),
+        (FaultKind::Router, "Router failure"),
+        (FaultKind::Link, "Link failure"),
+        (FaultKind::InfiniteLoop, "Infinite loop in MAGIC handler"),
+        (FaultKind::FalseAlarm, "Recovery triggered by false alarm"),
+    ];
+    let mut total_failed = 0;
+    for (kind, label) in rows {
+        let (n, failed) = run_type(kind, runs, threads);
+        total_failed += failed;
+        println!("{label:<38} {n:>14} {failed:>22}");
+    }
+    println!(
+        "\npaper: 0 failed / 1000; measured: {total_failed} failed / {} ({:.1}s host)",
+        runs * 5,
+        sw.secs()
+    );
+    assert_eq!(total_failed, 0, "validation must be failure-free");
+}

@@ -1,0 +1,97 @@
+//! **Table 5.4 — End-to-end recovery experiments.**
+//!
+//! The paper injected the four hardware fault types into an 8-cell Hive
+//! system running a parallel make and checked the compiles not affected by
+//! the fault: 91.6 % of runs finished them correctly, with all failures
+//! attributed to operating-system bugs around incoherent lines rather than
+//! incorrect hardware recovery.
+//!
+//! Our Hive *model* does not reproduce IRIX's bugs, so the expected success
+//! rate here is 100 %; the row structure matches the paper's table.
+//! `FLASH_RUNS` scales the per-type run count (paper: 215–394 per type).
+
+use crossbeam::thread;
+use flash_bench::{banner, runs_from_env, Stopwatch};
+use flash_core::{random_fault, FaultKind, RecoveryConfig};
+use flash_hive::{run_parallel_make, HiveConfig};
+use flash_machine::MachineParams;
+use flash_sim::DetRng;
+use parking_lot::Mutex;
+
+fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
+    let failures = Mutex::new(0u64);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if seed >= runs {
+                    return;
+                }
+                let params = MachineParams::table_5_1();
+                let hive = HiveConfig {
+                    files_per_task: 3,
+                    blocks_per_file: 48,
+                    out_blocks: 24,
+                    compute_ns: 40_000,
+                    ..HiveConfig::default()
+                };
+                let mut rng = DetRng::new(seed.wrapping_mul(0xB5297A4D) ^ kind as u64);
+                let fault = random_fault(kind, params.n_nodes, &mut rng);
+                let out = run_parallel_make(
+                    params,
+                    &hive,
+                    RecoveryConfig::default(),
+                    Some(fault.clone()),
+                    seed,
+                );
+                if !(out.finished && out.unaffected_all_completed()) {
+                    let mut f = failures.lock();
+                    *f += 1;
+                    eprintln!(
+                        "FAILURE {kind:?} seed {seed} {fault:?}: finished={} compiles={:?}",
+                        out.finished, out.compiles
+                    );
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+    (runs, failures.into_inner())
+}
+
+fn main() {
+    banner(
+        "Table 5.4: end-to-end recovery experiments",
+        "Teodosiu et al., ISCA'97, Table 5.4 (1187 runs, 99 failed — all OS bugs)",
+    );
+    let runs = runs_from_env(50);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let sw = Stopwatch::start();
+    println!("{:<38} {:>14} {:>22}", "Injected fault type", "# of", "# of failed");
+    println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
+    let rows = [
+        (FaultKind::Node, "Node failure"),
+        (FaultKind::Router, "Router failure"),
+        (FaultKind::Link, "Link failure"),
+        (FaultKind::InfiniteLoop, "Infinite loop in MAGIC handler"),
+    ];
+    let mut total = 0;
+    let mut total_failed = 0;
+    for (kind, label) in rows {
+        let (n, failed) = run_type(kind, runs, threads);
+        total += n;
+        total_failed += failed;
+        println!("{label:<38} {n:>14} {failed:>22}");
+    }
+    println!("{:<38} {total:>14} {total_failed:>22}", "Total");
+    let pct = 100.0 * (total - total_failed) as f64 / total as f64;
+    println!(
+        "\npaper: 91.6% of unaffected compiles finished (failures were IRIX/Hive bugs);"
+    );
+    println!(
+        "measured: {pct:.1}% (our OS model has no such bugs)   [{:.1}s host]",
+        sw.secs()
+    );
+    assert_eq!(total_failed, 0, "hardware recovery must never fail the unaffected compiles");
+}

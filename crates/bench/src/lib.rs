@@ -1,0 +1,83 @@
+//! # flash-bench — the paper's evaluation, regenerated
+//!
+//! One benchmark target per table and figure of the paper's Section 5 (plus
+//! the Section 6.2 firewall-overhead claim and two ablations of design
+//! choices). The figure/table targets are `harness = false` binaries that
+//! run simulated experiments and print the same rows/series the paper
+//! reports — in *simulated* time; `criterion_sim_speed` measures host-side
+//! simulator throughput with Criterion.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table_5_3_validation` | Table 5.3 (validation experiments) |
+//! | `table_5_4_end_to_end` | Table 5.4 (end-to-end recovery) |
+//! | `fig_5_5_recovery_scaling` | Figure 5.5 (recovery time vs. nodes) |
+//! | `fig_5_6_p4_scaling` | Figure 5.6 (P4 vs. L2 / memory size) |
+//! | `fig_5_7_end_to_end` | Figure 5.7 (HW+OS suspension time) |
+//! | `table_6_1_firewall_overhead` | §6.2 firewall cost (< 7 %) |
+//! | `ablation_speculative_ping` | §4.2 trigger-wave speedup |
+//! | `ablation_bft_hints` | §4.3 deferred-BFT hint scheduling |
+//!
+//! Run everything with `cargo bench -p flash-bench`; each target accepts a
+//! `FLASH_RUNS` environment variable to scale the run counts.
+
+mod results;
+
+pub use results::{results_dir, ResultSheet, Row};
+
+use std::time::Instant;
+
+/// Reads a run-count override from `FLASH_RUNS`, defaulting to `default`.
+pub fn runs_from_env(default: u64) -> u64 {
+    std::env::var("FLASH_RUNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A tiny stopwatch for host-side progress reporting.
+#[derive(Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Stopwatch(Instant::now())
+    }
+
+    /// Elapsed host seconds.
+    pub fn secs(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Prints the standard bench banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_parses() {
+        std::env::remove_var("FLASH_RUNS");
+        assert_eq!(runs_from_env(7), 7);
+    }
+
+    #[test]
+    fn stopwatch_advances() {
+        let sw = Stopwatch::start();
+        assert!(sw.secs() >= 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Machine-readable benchmark results.
+//!
+//! Every figure/table bench writes its rows as JSON next to its console
+//! output so results can be plotted or diffed across runs. Files land in
+//! `target/bench-results/<bench>.json`.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One benchmark's result sheet: named rows of named numeric columns.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResultSheet {
+    /// Bench target name.
+    pub bench: String,
+    /// The paper artifact reproduced (e.g. `"Figure 5.5"`).
+    pub reproduces: String,
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+}
+
+/// One row of a [`ResultSheet`].
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row label (e.g. `"nodes=128"` or `"Node failure"`).
+    pub label: String,
+    /// Values, matching the sheet's column order.
+    pub values: Vec<f64>,
+}
+
+impl ResultSheet {
+    /// Creates an empty sheet.
+    pub fn new(
+        bench: impl Into<String>,
+        reproduces: impl Into<String>,
+        columns: &[&str],
+    ) -> Self {
+        ResultSheet {
+            bench: bench.into(),
+            reproduces: reproduces.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "row/column mismatch");
+        self.rows.push(Row { label: label.into(), values: values.to_vec() });
+    }
+
+    /// Serializes the sheet as pretty JSON.
+    pub fn to_json(&self) -> String {
+        // Hand-rolled writer: the workspace deliberately avoids serde_json;
+        // the structure is flat enough to emit directly.
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": {:?},\n", self.bench));
+        out.push_str(&format!("  \"reproduces\": {:?},\n", self.reproduces));
+        out.push_str(&format!(
+            "  \"columns\": [{}],\n",
+            self.columns.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let vals = row
+                .values
+                .iter()
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "null".to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!("    {{\"label\": {:?}, \"values\": [{vals}]}}", row.label));
+            out.push_str(if i + 1 == self.rows.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the sheet to `target/bench-results/<bench>.json`, creating
+    /// the directory as needed. Prints the path on success; IO problems are
+    /// reported but non-fatal (benches still print their tables).
+    pub fn write(&self) {
+        let dir = results_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.bench));
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(self.to_json().as_bytes()))
+        {
+            Ok(()) => println!("[results written to {}]", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// The directory bench results land in: the *workspace* target directory
+/// (benches run with the package directory as cwd, so a relative path
+/// would land inside `crates/bench`).
+pub fn results_dir() -> PathBuf {
+    if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir).join("bench-results");
+    }
+    // The bench executable lives in <workspace>/target/release/deps/...;
+    // derive the target directory from our own path.
+    if let Ok(exe) = std::env::current_exe() {
+        for anc in exe.ancestors() {
+            if anc.file_name().and_then(|n| n.to_str()) == Some("target") {
+                return anc.join("bench-results");
+            }
+        }
+    }
+    PathBuf::from("target").join("bench-results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheet_roundtrip_structure() {
+        let mut s = ResultSheet::new("fig_x", "Figure X", &["a", "b"]);
+        s.push("row1", &[1.0, 2.5]);
+        s.push("row2", &[3.0, f64::NAN]);
+        let json = s.to_json();
+        assert!(json.contains("\"bench\": \"fig_x\""));
+        assert!(json.contains("\"columns\": [\"a\", \"b\"]"));
+        assert!(json.contains("[1, 2.5]"));
+        assert!(json.contains("null"), "non-finite values become null");
+    }
+
+    #[test]
+    #[should_panic(expected = "row/column mismatch")]
+    fn mismatched_row_panics() {
+        let mut s = ResultSheet::new("x", "y", &["a"]);
+        s.push("r", &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,338 @@
+//! The processor's second-level cache model.
+//!
+//! A 2-way set-associative cache (the MIPS R10000's L2 is 2-way) holding
+//! line-granular entries with an exclusive/dirty bit and the versioned data
+//! model of [`crate::line`]. Capacity is expressed in lines; a 1 MB L2 holds
+//! 8192 lines of 128 bytes.
+//!
+//! The cache-flush step of coherence-protocol recovery (paper, Section 4.5)
+//! is [`L2Cache::flush_all`]: dirty lines are returned for writeback and the
+//! entire cache is invalidated, leaving it empty.
+
+use crate::line::{LineAddr, Version};
+
+/// One cached line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CachedLine {
+    /// The line's address.
+    pub addr: LineAddr,
+    /// Whether this copy is exclusive. In this protocol exclusive copies are
+    /// always dirty (exclusivity is only requested to satisfy a store).
+    pub exclusive: bool,
+    /// The line's data (version model).
+    pub version: Version,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Set {
+    ways: [Option<CachedLine>; 2],
+    /// Index of the least-recently-used way.
+    lru: u8,
+}
+
+/// The result of inserting a line into the cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The line was installed without displacing anything.
+    Installed,
+    /// A clean line was silently evicted to make room.
+    EvictedClean(LineAddr),
+    /// A dirty line was evicted; the caller must write it back to its home
+    /// (the returned copy is the only valid one).
+    EvictedDirty(CachedLine),
+}
+
+/// A 2-way set-associative L2 cache.
+///
+/// # Examples
+///
+/// ```
+/// use flash_coherence::{L2Cache, LineAddr, Version};
+///
+/// let mut cache = L2Cache::new(64);
+/// cache.insert(LineAddr(5), false, Version(1));
+/// assert_eq!(cache.lookup(LineAddr(5)).unwrap().version, Version(1));
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct L2Cache {
+    sets: Vec<Set>,
+    len: usize,
+}
+
+impl L2Cache {
+    /// Creates a cache holding `capacity_lines` lines (rounded up to an even
+    /// number; at least 2).
+    pub fn new(capacity_lines: usize) -> Self {
+        let sets = (capacity_lines.max(2)).div_ceil(2);
+        L2Cache {
+            sets: vec![Set::default(); sets],
+            len: 0,
+        }
+    }
+
+    /// Creates a cache sized in megabytes (128-byte lines).
+    pub fn with_mb(mb: f64) -> Self {
+        let lines = (mb * 1024.0 * 1024.0 / 128.0) as usize;
+        L2Cache::new(lines.max(2))
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * 2
+    }
+
+    /// Number of lines currently cached.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set_of(&self, addr: LineAddr) -> usize {
+        (addr.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a line without touching LRU state.
+    pub fn lookup(&self, addr: LineAddr) -> Option<&CachedLine> {
+        let set = &self.sets[self.set_of(addr)];
+        set.ways.iter().flatten().find(|l| l.addr == addr)
+    }
+
+    /// Looks up a line, marking it most recently used.
+    pub fn touch(&mut self, addr: LineAddr) -> Option<CachedLine> {
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        for (w, slot) in set.ways.iter().enumerate() {
+            if let Some(l) = slot {
+                if l.addr == addr {
+                    let l = *l;
+                    set.lru = (w as u8) ^ 1;
+                    return Some(l);
+                }
+            }
+        }
+        None
+    }
+
+    /// Installs a line (shared or exclusive), possibly evicting the LRU way.
+    /// Exclusive installs are dirty by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the line is already present — callers must not
+    /// double-install.
+    pub fn insert(&mut self, addr: LineAddr, exclusive: bool, version: Version) -> InsertOutcome {
+        debug_assert!(self.lookup(addr).is_none(), "line already cached");
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        let new = CachedLine { addr, exclusive, version };
+        // Free way?
+        for (w, slot) in set.ways.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(new);
+                set.lru = (w as u8) ^ 1;
+                self.len += 1;
+                return InsertOutcome::Installed;
+            }
+        }
+        // Evict the LRU way.
+        let victim_way = set.lru as usize;
+        let victim = set.ways[victim_way].take().expect("full set has lines");
+        set.ways[victim_way] = Some(new);
+        set.lru = (victim_way as u8) ^ 1;
+        if victim.exclusive {
+            InsertOutcome::EvictedDirty(victim)
+        } else {
+            InsertOutcome::EvictedClean(victim.addr)
+        }
+    }
+
+    /// Commits a store to a cached exclusive line, bumping its version.
+    /// Returns the new version, or `None` if the line is absent or not
+    /// exclusive (the caller must obtain exclusivity first).
+    pub fn store(&mut self, addr: LineAddr) -> Option<Version> {
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        for (w, slot) in set.ways.iter_mut().enumerate() {
+            if let Some(l) = slot {
+                if l.addr == addr && l.exclusive {
+                    l.version = l.version.next();
+                    set.lru = (w as u8) ^ 1;
+                    return Some(l.version);
+                }
+            }
+        }
+        None
+    }
+
+    /// Removes a line (invalidation), returning the removed copy if present.
+    pub fn invalidate(&mut self, addr: LineAddr) -> Option<CachedLine> {
+        let si = self.set_of(addr);
+        let set = &mut self.sets[si];
+        for slot in set.ways.iter_mut() {
+            if let Some(l) = slot {
+                if l.addr == addr {
+                    let out = *l;
+                    *slot = None;
+                    self.len -= 1;
+                    return Some(out);
+                }
+            }
+        }
+        None
+    }
+
+    /// Upgrades a shared copy to exclusive ownership (after an
+    /// [`UpgradeAck`](crate::CohMsg::UpgradeAck) from the home). Returns the
+    /// copy's version, or `None` if the line is absent or already exclusive.
+    pub fn upgrade(&mut self, addr: LineAddr) -> Option<Version> {
+        let si = self.set_of(addr);
+        for l in self.sets[si].ways.iter_mut().flatten() {
+            if l.addr == addr && !l.exclusive {
+                l.exclusive = true;
+                return Some(l.version);
+            }
+        }
+        None
+    }
+
+    /// Downgrades an exclusive line to a clean shared copy (after the home
+    /// recalled the data with a read-only `Fetch`). Returns the version
+    /// written back, or `None` if the line is absent or already shared.
+    pub fn downgrade(&mut self, addr: LineAddr) -> Option<Version> {
+        let si = self.set_of(addr);
+        for l in self.sets[si].ways.iter_mut().flatten() {
+            if l.addr == addr && l.exclusive {
+                l.exclusive = false;
+                return Some(l.version);
+            }
+        }
+        None
+    }
+
+    /// The recovery cache flush: returns all dirty (exclusive) lines for
+    /// writeback and empties the whole cache (paper, Section 4.5: "after the
+    /// cache flush step all processor caches in the system are empty").
+    pub fn flush_all(&mut self) -> Vec<CachedLine> {
+        let mut dirty = Vec::new();
+        for set in &mut self.sets {
+            for slot in set.ways.iter_mut() {
+                if let Some(l) = slot.take() {
+                    if l.exclusive {
+                        dirty.push(l);
+                    }
+                }
+            }
+            set.lru = 0;
+        }
+        self.len = 0;
+        dirty.sort_by_key(|l| l.addr);
+        dirty
+    }
+
+    /// Iterates over all cached lines (set order).
+    pub fn iter(&self) -> impl Iterator<Item = &CachedLine> + '_ {
+        self.sets.iter().flat_map(|s| s.ways.iter().flatten())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_store() {
+        let mut c = L2Cache::new(8);
+        assert_eq!(c.insert(LineAddr(1), true, Version(0)), InsertOutcome::Installed);
+        assert_eq!(c.store(LineAddr(1)), Some(Version(1)));
+        assert_eq!(c.store(LineAddr(1)), Some(Version(2)));
+        assert_eq!(c.lookup(LineAddr(1)).unwrap().version, Version(2));
+        // Store to a shared line fails.
+        c.insert(LineAddr(2), false, Version(5));
+        assert_eq!(c.store(LineAddr(2)), None);
+        // Store to an absent line fails.
+        assert_eq!(c.store(LineAddr(99)), None);
+    }
+
+    #[test]
+    fn eviction_prefers_lru_and_reports_dirty() {
+        let mut c = L2Cache::new(2); // one set, two ways
+        c.insert(LineAddr(0), true, Version(1));
+        c.insert(LineAddr(1), false, Version(2));
+        // Touch 0 so 1 becomes LRU.
+        c.touch(LineAddr(0));
+        match c.insert(LineAddr(2), false, Version(3)) {
+            InsertOutcome::EvictedClean(a) => assert_eq!(a, LineAddr(1)),
+            other => panic!("expected clean eviction, got {other:?}"),
+        }
+        // Now 0 (dirty) is LRU after inserting 2.
+        match c.insert(LineAddr(3), false, Version(4)) {
+            InsertOutcome::EvictedDirty(l) => {
+                assert_eq!(l.addr, LineAddr(0));
+                assert_eq!(l.version, Version(1));
+            }
+            other => panic!("expected dirty eviction, got {other:?}"),
+        }
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_and_downgrade() {
+        let mut c = L2Cache::new(8);
+        c.insert(LineAddr(3), true, Version(7));
+        assert_eq!(c.downgrade(LineAddr(3)), Some(Version(7)));
+        assert!(!c.lookup(LineAddr(3)).unwrap().exclusive);
+        assert_eq!(c.downgrade(LineAddr(3)), None, "already shared");
+        let out = c.invalidate(LineAddr(3)).unwrap();
+        assert_eq!(out.version, Version(7));
+        assert!(c.invalidate(LineAddr(3)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn flush_returns_dirty_and_empties() {
+        let mut c = L2Cache::new(16);
+        c.insert(LineAddr(1), true, Version(1));
+        c.insert(LineAddr(2), false, Version(2));
+        c.insert(LineAddr(3), true, Version(3));
+        let dirty = c.flush_all();
+        let addrs: Vec<u64> = dirty.iter().map(|l| l.addr.0).collect();
+        assert_eq!(addrs, vec![1, 3]);
+        assert!(c.is_empty());
+        assert!(c.lookup(LineAddr(2)).is_none());
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut c = L2Cache::new(8);
+        let mut evictions = 0;
+        for i in 0..100 {
+            match c.insert(LineAddr(i), false, Version(0)) {
+                InsertOutcome::Installed => {}
+                _ => evictions += 1,
+            }
+        }
+        assert_eq!(c.len() + evictions, 100);
+        assert!(c.len() <= c.capacity());
+        assert_eq!(c.capacity(), 8);
+    }
+
+    #[test]
+    fn with_mb_sizes() {
+        assert_eq!(L2Cache::with_mb(1.0).capacity(), 8192);
+        assert_eq!(L2Cache::with_mb(0.5).capacity(), 4096);
+    }
+
+    #[test]
+    fn iter_visits_all_lines() {
+        let mut c = L2Cache::new(8);
+        for i in 0..4 {
+            c.insert(LineAddr(i), i % 2 == 0, Version(i));
+        }
+        assert_eq!(c.iter().count(), 4);
+    }
+}

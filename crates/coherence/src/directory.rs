@@ -1,0 +1,766 @@
+//! The home-node directory and its protocol state machine.
+//!
+//! Each node's directory tracks the coherence state of the lines homed on
+//! it. The protocol is a home-based MSI directory protocol with the
+//! properties the paper's recovery algorithm relies on (Section 3.2):
+//!
+//! * a line's home services all misses for it — a dead home makes the line
+//!   *inaccessible*;
+//! * a dirty writeback ([`CohMsg::Put`]) carries the *only valid copy* —
+//!   losing it makes the line *incoherent*;
+//! * transient states (invalidations or a recall outstanding) *lock* the
+//!   line: requests are NAK'd and retried, so a lost unlock message turns
+//!   into an indefinite NAK spin (detected via NAK-counter overflow).
+//!
+//! The recovery entry points ([`Directory::recovery_put`],
+//! [`Directory::scan_and_reset`]) implement the directory side of
+//! coherence-protocol recovery (Section 4.5).
+
+use crate::line::{LineAddr, MemLayout, Version};
+use crate::msg::CohMsg;
+use crate::nodeset::NodeSet;
+use flash_net::NodeId;
+use flash_sim::Counters;
+
+/// Directory state of one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No cached copies; memory holds the valid data.
+    Uncached,
+    /// Clean copies at the given nodes; memory is valid.
+    Shared(NodeSet),
+    /// A single dirty copy at the given node; memory is stale.
+    Exclusive(NodeId),
+    /// Locked: invalidations outstanding for a write request.
+    PendingInvals {
+        /// The node waiting for exclusive access.
+        requester: NodeId,
+        /// Sharers whose invalidation acknowledgment is still outstanding.
+        pending: NodeSet,
+        /// Whether the requester needs the data (full write miss) or only
+        /// an ownership grant (upgrade of a held shared copy).
+        needs_data: bool,
+    },
+    /// Locked: the dirty owner has been asked to write the line back.
+    PendingRecall {
+        /// The node waiting for the data.
+        requester: NodeId,
+        /// The current dirty owner.
+        owner: NodeId,
+        /// Whether the requester wants an exclusive copy.
+        for_write: bool,
+    },
+    /// The line's only valid copy was lost in a fault; accesses bus-error
+    /// until the operating system reinitializes the page.
+    Incoherent,
+}
+
+impl DirState {
+    /// Whether the line is locked in a transient state (requests are NAK'd).
+    pub fn is_locked(&self) -> bool {
+        matches!(self, DirState::PendingInvals { .. } | DirState::PendingRecall { .. })
+    }
+}
+
+/// Messages to send as the result of a directory transition, as
+/// (destination, message) pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Outcome {
+    /// Protocol messages to emit.
+    pub sends: Vec<(NodeId, CohMsg)>,
+}
+
+impl Outcome {
+    fn send(dest: NodeId, msg: CohMsg) -> Outcome {
+        Outcome { sends: vec![(dest, msg)] }
+    }
+}
+
+/// Inputs to the home-node protocol engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomeIn {
+    /// A read miss arrived.
+    Get {
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// A write (exclusive) miss arrived.
+    GetX {
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// An ownership-upgrade request arrived (requester claims to hold a
+    /// shared copy).
+    Upgrade {
+        /// Requesting node.
+        from: NodeId,
+    },
+    /// A writeback arrived.
+    Put {
+        /// Writing node.
+        from: NodeId,
+        /// The written-back data.
+        version: Version,
+        /// Whether the writer keeps a clean shared copy (a downgrade in
+        /// response to a read recall) rather than dropping the line.
+        keep_shared: bool,
+    },
+    /// An invalidation acknowledgment arrived.
+    InvalAck {
+        /// Acknowledging node.
+        from: NodeId,
+    },
+}
+
+/// The directory (and memory image) for the lines homed on one node.
+#[derive(Clone, Debug)]
+pub struct Directory {
+    home: NodeId,
+    layout: MemLayout,
+    states: Vec<DirState>,
+    versions: Vec<Version>,
+    counters: Counters,
+}
+
+impl Directory {
+    /// Creates the directory for `home` under the given layout; all lines
+    /// start uncached at [`Version::INITIAL`].
+    pub fn new(home: NodeId, layout: MemLayout) -> Self {
+        let n = layout.lines_per_node() as usize;
+        Directory {
+            home,
+            layout,
+            states: vec![DirState::Uncached; n],
+            versions: vec![Version::INITIAL; n],
+            counters: Counters::new(),
+        }
+    }
+
+    /// The node this directory lives on.
+    pub fn home(&self) -> NodeId {
+        self.home
+    }
+
+    /// Number of lines homed here.
+    pub fn num_lines(&self) -> usize {
+        self.states.len()
+    }
+
+    fn idx(&self, line: LineAddr) -> usize {
+        debug_assert_eq!(self.layout.home_of(line), self.home, "line not homed here");
+        self.layout.local_index(line)
+    }
+
+    /// The directory state of a line.
+    pub fn state(&self, line: LineAddr) -> DirState {
+        self.states[self.idx(line)]
+    }
+
+    /// The memory image's data version for a line.
+    pub fn mem_version(&self, line: LineAddr) -> Version {
+        self.versions[self.idx(line)]
+    }
+
+    /// Whether a line is marked incoherent.
+    pub fn is_incoherent(&self, line: LineAddr) -> bool {
+        matches!(self.state(line), DirState::Incoherent)
+    }
+
+    /// Protocol statistics (NAKs sent, unexpected messages, ...).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Handles one protocol message addressed to this home.
+    pub fn handle(&mut self, line: LineAddr, input: HomeIn) -> Outcome {
+        let i = self.idx(line);
+        match input {
+            HomeIn::Get { from } => self.on_get(i, line, from),
+            HomeIn::GetX { from } => self.on_getx(i, line, from, true),
+            HomeIn::Upgrade { from } => self.on_upgrade(i, line, from),
+            HomeIn::Put { from, version, keep_shared } => {
+                self.on_put(i, line, from, version, keep_shared)
+            }
+            HomeIn::InvalAck { from } => self.on_inval_ack(i, line, from),
+        }
+    }
+
+    fn on_get(&mut self, i: usize, line: LineAddr, from: NodeId) -> Outcome {
+        match self.states[i] {
+            DirState::Uncached => {
+                self.states[i] = DirState::Shared(NodeSet::singleton(from));
+                Outcome::send(
+                    from,
+                    CohMsg::Data { line, version: self.versions[i], exclusive: false },
+                )
+            }
+            DirState::Shared(mut s) => {
+                s.insert(from);
+                self.states[i] = DirState::Shared(s);
+                Outcome::send(
+                    from,
+                    CohMsg::Data { line, version: self.versions[i], exclusive: false },
+                )
+            }
+            DirState::Exclusive(owner) => {
+                self.states[i] =
+                    DirState::PendingRecall { requester: from, owner, for_write: false };
+                Outcome::send(owner, CohMsg::Fetch { line, for_write: false })
+            }
+            DirState::PendingInvals { .. } | DirState::PendingRecall { .. } => {
+                self.counters.incr("naks_sent");
+                Outcome::send(from, CohMsg::Nak { line })
+            }
+            DirState::Incoherent => {
+                self.counters.incr("incoherent_accesses");
+                Outcome::send(from, CohMsg::IncoherentErr { line })
+            }
+        }
+    }
+
+    /// Grants exclusivity to `from`: a data reply for a full miss, or an
+    /// upgrade acknowledgment when the requester already holds the data.
+    fn grant_exclusive(&mut self, i: usize, line: LineAddr, from: NodeId, needs_data: bool) -> Outcome {
+        self.states[i] = DirState::Exclusive(from);
+        if needs_data {
+            Outcome::send(
+                from,
+                CohMsg::Data { line, version: self.versions[i], exclusive: true },
+            )
+        } else {
+            Outcome::send(from, CohMsg::UpgradeAck { line })
+        }
+    }
+
+    /// An upgrade request: valid only while the requester is still listed
+    /// as a sharer — otherwise its copy was invalidated or silently evicted
+    /// and the request falls back to the full GetX path.
+    fn on_upgrade(&mut self, i: usize, line: LineAddr, from: NodeId) -> Outcome {
+        match self.states[i] {
+            DirState::Shared(s) if s.contains(from) => {
+                let mut others = s;
+                others.remove(from);
+                if others.is_empty() {
+                    self.grant_exclusive(i, line, from, false)
+                } else {
+                    self.states[i] = DirState::PendingInvals {
+                        requester: from,
+                        pending: others,
+                        needs_data: false,
+                    };
+                    Outcome {
+                        sends: others
+                            .iter()
+                            .map(|sharer| (sharer, CohMsg::Inval { line }))
+                            .collect(),
+                    }
+                }
+            }
+            _ => {
+                self.counters.incr("upgrade_fallbacks");
+                self.on_getx(i, line, from, true)
+            }
+        }
+    }
+
+    fn on_getx(&mut self, i: usize, line: LineAddr, from: NodeId, needs_data: bool) -> Outcome {
+        match self.states[i] {
+            DirState::Uncached => self.grant_exclusive(i, line, from, needs_data),
+            DirState::Shared(s) => {
+                let mut others = s;
+                others.remove(from);
+                if others.is_empty() {
+                    self.grant_exclusive(i, line, from, needs_data)
+                } else {
+                    self.states[i] = DirState::PendingInvals {
+                        requester: from,
+                        pending: others,
+                        needs_data,
+                    };
+                    Outcome {
+                        sends: others
+                            .iter()
+                            .map(|sharer| (sharer, CohMsg::Inval { line }))
+                            .collect(),
+                    }
+                }
+            }
+            DirState::Exclusive(owner) => {
+                self.states[i] =
+                    DirState::PendingRecall { requester: from, owner, for_write: true };
+                Outcome::send(owner, CohMsg::Fetch { line, for_write: true })
+            }
+            DirState::PendingInvals { .. } | DirState::PendingRecall { .. } => {
+                self.counters.incr("naks_sent");
+                Outcome::send(from, CohMsg::Nak { line })
+            }
+            DirState::Incoherent => {
+                self.counters.incr("incoherent_accesses");
+                Outcome::send(from, CohMsg::IncoherentErr { line })
+            }
+        }
+    }
+
+    fn on_put(
+        &mut self,
+        i: usize,
+        line: LineAddr,
+        from: NodeId,
+        version: Version,
+        keep_shared: bool,
+    ) -> Outcome {
+        match self.states[i] {
+            DirState::Exclusive(owner) if owner == from => {
+                self.versions[i] = version;
+                self.states[i] = if keep_shared {
+                    DirState::Shared(NodeSet::singleton(from))
+                } else {
+                    DirState::Uncached
+                };
+                Outcome::send(from, CohMsg::PutAck { line })
+            }
+            DirState::PendingRecall { requester, owner, for_write } if owner == from => {
+                self.versions[i] = version;
+                if for_write {
+                    self.states[i] = DirState::Exclusive(requester);
+                    Outcome::send(
+                        requester,
+                        CohMsg::Data { line, version, exclusive: true },
+                    )
+                } else {
+                    let mut sharers = NodeSet::singleton(requester);
+                    if keep_shared {
+                        sharers.insert(owner);
+                    }
+                    self.states[i] = DirState::Shared(sharers);
+                    Outcome::send(
+                        requester,
+                        CohMsg::Data { line, version, exclusive: false },
+                    )
+                }
+            }
+            _ => {
+                // Stale or duplicate writeback (e.g. after a recovery reset):
+                // acknowledge so the writer can forget the line, change
+                // nothing.
+                self.counters.incr("unexpected_puts");
+                Outcome::send(from, CohMsg::PutAck { line })
+            }
+        }
+    }
+
+    fn on_inval_ack(&mut self, i: usize, line: LineAddr, from: NodeId) -> Outcome {
+        match self.states[i] {
+            DirState::PendingInvals { requester, mut pending, needs_data } => {
+                pending.remove(from);
+                if pending.is_empty() {
+                    self.grant_exclusive(i, line, requester, needs_data)
+                } else {
+                    self.states[i] =
+                        DirState::PendingInvals { requester, pending, needs_data };
+                    Outcome::default()
+                }
+            }
+            _ => {
+                self.counters.incr("unexpected_inval_acks");
+                Outcome::default()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery entry points (paper, Section 4.5)
+    // ------------------------------------------------------------------
+
+    /// Accepts a flush writeback during coherence-protocol recovery: the
+    /// data is stored and the line unlocked, with no reply generated (node
+    /// controllers suppress replies during recovery).
+    pub fn recovery_put(&mut self, line: LineAddr, version: Version) {
+        let i = self.idx(line);
+        if matches!(self.states[i], DirState::Incoherent) {
+            self.counters.incr("recovery_put_to_incoherent");
+            return;
+        }
+        self.versions[i] = version;
+        self.states[i] = DirState::Uncached;
+    }
+
+    /// Scans the directory after the flush barrier: any line still dirty
+    /// remote (`Exclusive` or `PendingRecall` — its writeback never made it
+    /// home) is marked incoherent; every other line is reset to `Uncached`
+    /// since all caches are now empty. Returns the newly marked lines.
+    pub fn scan_and_reset(&mut self) -> Vec<LineAddr> {
+        let mut marked = Vec::new();
+        let base = self.home.index() as u64 * self.layout.lines_per_node();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            match state {
+                DirState::Exclusive(_) | DirState::PendingRecall { .. } => {
+                    *state = DirState::Incoherent;
+                    marked.push(LineAddr(base + i as u64));
+                }
+                DirState::Incoherent => {}
+                DirState::Uncached | DirState::Shared(_) | DirState::PendingInvals { .. } => {
+                    *state = DirState::Uncached;
+                }
+            }
+        }
+        marked
+    }
+
+    /// The reliable-interconnect variant of post-fault directory recovery
+    /// (paper, Section 6.3 discussing the HAL machine): with a hardware
+    /// end-to-end reliable interconnect the cache flush can be eliminated;
+    /// the directory is *pruned* instead of reset — failed nodes are
+    /// removed from sharer sets, lines they owned become incoherent, and
+    /// surviving cached state is preserved. Returns the newly marked lines.
+    pub fn scan_and_prune(&mut self, failed: &NodeSet) -> Vec<LineAddr> {
+        let mut marked = Vec::new();
+        let base = self.home.index() as u64 * self.layout.lines_per_node();
+        for (i, state) in self.states.iter_mut().enumerate() {
+            match state {
+                DirState::Exclusive(o) if failed.contains(*o) => {
+                    *state = DirState::Incoherent;
+                    marked.push(LineAddr(base + i as u64));
+                }
+                DirState::Exclusive(_) | DirState::Uncached | DirState::Incoherent => {}
+                DirState::Shared(s) => {
+                    s.subtract(failed);
+                    if s.is_empty() {
+                        *state = DirState::Uncached;
+                    }
+                }
+                DirState::PendingInvals { pending, .. } => {
+                    // The upgrade request was cancelled at recovery
+                    // initiation; un-acked sharers may still hold copies
+                    // (over-approximating is safe — absent sharers simply
+                    // ack the next invalidation).
+                    let mut remaining = *pending;
+                    remaining.subtract(failed);
+                    *state = if remaining.is_empty() {
+                        DirState::Uncached
+                    } else {
+                        DirState::Shared(remaining)
+                    };
+                }
+                DirState::PendingRecall { owner, .. } => {
+                    if failed.contains(*owner) {
+                        *state = DirState::Incoherent;
+                        marked.push(LineAddr(base + i as u64));
+                    } else {
+                        // The recall was consumed during the drain; the
+                        // owner still holds its dirty copy and the
+                        // requester will retry after recovery.
+                        *state = DirState::Exclusive(*owner);
+                    }
+                }
+            }
+        }
+        marked
+    }
+
+    /// Clears the incoherent mark on a line and reinitializes its data —
+    /// the MAGIC service Hive uses before reusing a page (paper, Section
+    /// 4.6). Returns whether the line was incoherent.
+    pub fn clear_incoherent(&mut self, line: LineAddr, fresh: Version) -> bool {
+        let i = self.idx(line);
+        if matches!(self.states[i], DirState::Incoherent) {
+            self.states[i] = DirState::Uncached;
+            self.versions[i] = fresh;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a line incoherent directly (used when a truncated data packet
+    /// identified a specific lost line).
+    pub fn mark_incoherent(&mut self, line: LineAddr) {
+        let i = self.idx(line);
+        self.states[i] = DirState::Incoherent;
+    }
+
+    /// Iterates over `(line, state)` for all lines homed here.
+    pub fn iter_states(&self) -> impl Iterator<Item = (LineAddr, DirState)> + '_ {
+        let base = self.home.index() as u64 * self.layout.lines_per_node();
+        self.states
+            .iter()
+            .enumerate()
+            .map(move |(i, s)| (LineAddr(base + i as u64), *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> (Directory, LineAddr) {
+        let layout = MemLayout::new(4, 64);
+        // Home node 1; its lines are 64..128.
+        (Directory::new(NodeId(1), layout), LineAddr(70))
+    }
+
+    fn data(msg: &CohMsg) -> (Version, bool) {
+        match msg {
+            CohMsg::Data { version, exclusive, .. } => (*version, *exclusive),
+            other => panic!("expected Data, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_miss_grants_shared() {
+        let (mut d, l) = dir();
+        let out = d.handle(l, HomeIn::Get { from: NodeId(2) });
+        assert_eq!(out.sends.len(), 1);
+        assert_eq!(out.sends[0].0, NodeId(2));
+        assert_eq!(data(&out.sends[0].1), (Version::INITIAL, false));
+        assert_eq!(d.state(l), DirState::Shared(NodeSet::singleton(NodeId(2))));
+        // Second reader joins the sharer set.
+        d.handle(l, HomeIn::Get { from: NodeId(3) });
+        match d.state(l) {
+            DirState::Shared(s) => assert_eq!(s.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_miss_on_uncached_grants_exclusive() {
+        let (mut d, l) = dir();
+        let out = d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        assert_eq!(data(&out.sends[0].1), (Version::INITIAL, true));
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(0)));
+    }
+
+    #[test]
+    fn write_miss_on_shared_invalidates_and_locks() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::Get { from: NodeId(2) });
+        d.handle(l, HomeIn::Get { from: NodeId(3) });
+        let out = d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        // Two invalidations, no data yet.
+        assert_eq!(out.sends.len(), 2);
+        assert!(out
+            .sends
+            .iter()
+            .all(|(_, m)| matches!(m, CohMsg::Inval { .. })));
+        assert!(d.state(l).is_locked());
+        // Requests while locked are NAK'd.
+        let nak = d.handle(l, HomeIn::Get { from: NodeId(3) });
+        assert!(matches!(nak.sends[0].1, CohMsg::Nak { .. }));
+        assert_eq!(d.counters().get("naks_sent"), 1);
+        // First ack: still locked; second ack: grant. Duplicate acks from
+        // the same node do not complete the invalidation round.
+        let out = d.handle(l, HomeIn::InvalAck { from: NodeId(2) });
+        assert!(out.sends.is_empty());
+        let out = d.handle(l, HomeIn::InvalAck { from: NodeId(2) });
+        assert!(out.sends.is_empty(), "duplicate ack ignored");
+        let out = d.handle(l, HomeIn::InvalAck { from: NodeId(3) });
+        assert_eq!(out.sends[0].0, NodeId(0));
+        assert_eq!(data(&out.sends[0].1), (Version::INITIAL, true));
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(0)));
+    }
+
+    #[test]
+    fn upgrade_from_sole_sharer_is_immediate() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::Get { from: NodeId(2) });
+        let out = d.handle(l, HomeIn::GetX { from: NodeId(2) });
+        assert_eq!(data(&out.sends[0].1), (Version::INITIAL, true));
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn read_of_dirty_line_recalls_owner() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        let out = d.handle(l, HomeIn::Get { from: NodeId(2) });
+        assert_eq!(out.sends[0].0, NodeId(0));
+        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: false, .. }));
+        assert!(d.state(l).is_locked());
+        // Owner writes back version 5 keeping a shared copy.
+        let out = d.handle(
+            l,
+            HomeIn::Put { from: NodeId(0), version: Version(5), keep_shared: true },
+        );
+        assert_eq!(out.sends[0].0, NodeId(2));
+        assert_eq!(data(&out.sends[0].1), (Version(5), false));
+        match d.state(l) {
+            DirState::Shared(s) => {
+                assert!(s.contains(NodeId(0)) && s.contains(NodeId(2)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.mem_version(l), Version(5));
+    }
+
+    #[test]
+    fn write_of_dirty_line_transfers_ownership() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        let out = d.handle(l, HomeIn::GetX { from: NodeId(3) });
+        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: true, .. }));
+        let out = d.handle(
+            l,
+            HomeIn::Put { from: NodeId(0), version: Version(9), keep_shared: false },
+        );
+        assert_eq!(out.sends[0].0, NodeId(3));
+        assert_eq!(data(&out.sends[0].1), (Version(9), true));
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(3)));
+    }
+
+    #[test]
+    fn voluntary_writeback_returns_line_home() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        let out = d.handle(
+            l,
+            HomeIn::Put { from: NodeId(0), version: Version(3), keep_shared: false },
+        );
+        assert!(matches!(out.sends[0].1, CohMsg::PutAck { .. }));
+        assert_eq!(d.state(l), DirState::Uncached);
+        assert_eq!(d.mem_version(l), Version(3));
+    }
+
+    #[test]
+    fn stale_put_is_acked_and_ignored() {
+        let (mut d, l) = dir();
+        let out = d.handle(
+            l,
+            HomeIn::Put { from: NodeId(2), version: Version(7), keep_shared: false },
+        );
+        assert!(matches!(out.sends[0].1, CohMsg::PutAck { .. }));
+        assert_eq!(d.mem_version(l), Version::INITIAL);
+        assert_eq!(d.counters().get("unexpected_puts"), 1);
+    }
+
+    #[test]
+    fn incoherent_lines_bus_error() {
+        let (mut d, l) = dir();
+        d.mark_incoherent(l);
+        let out = d.handle(l, HomeIn::Get { from: NodeId(2) });
+        assert!(matches!(out.sends[0].1, CohMsg::IncoherentErr { .. }));
+        let out = d.handle(l, HomeIn::GetX { from: NodeId(2) });
+        assert!(matches!(out.sends[0].1, CohMsg::IncoherentErr { .. }));
+        assert!(d.is_incoherent(l));
+    }
+
+    #[test]
+    fn scan_marks_lost_exclusive_lines() {
+        let layout = MemLayout::new(2, 8);
+        let mut d = Directory::new(NodeId(0), layout);
+        d.handle(LineAddr(0), HomeIn::GetX { from: NodeId(1) }); // dirty remote
+        d.handle(LineAddr(1), HomeIn::Get { from: NodeId(1) }); // shared
+        d.handle(LineAddr(2), HomeIn::GetX { from: NodeId(1) });
+        d.handle(LineAddr(2), HomeIn::Get { from: NodeId(0) }); // pending recall
+        // Line 3: dirty remote, but the flush writeback made it home.
+        d.handle(LineAddr(3), HomeIn::GetX { from: NodeId(1) });
+        d.recovery_put(LineAddr(3), Version(4));
+        let marked = d.scan_and_reset();
+        assert_eq!(marked, vec![LineAddr(0), LineAddr(2)]);
+        assert!(d.is_incoherent(LineAddr(0)));
+        assert!(d.is_incoherent(LineAddr(2)));
+        assert_eq!(d.state(LineAddr(1)), DirState::Uncached);
+        assert_eq!(d.state(LineAddr(3)), DirState::Uncached);
+        assert_eq!(d.mem_version(LineAddr(3)), Version(4));
+    }
+
+    #[test]
+    fn clear_incoherent_reinitializes() {
+        let (mut d, l) = dir();
+        d.mark_incoherent(l);
+        assert!(d.clear_incoherent(l, Version(100)));
+        assert!(!d.is_incoherent(l));
+        assert_eq!(d.mem_version(l), Version(100));
+        assert!(!d.clear_incoherent(l, Version(101)), "already clear");
+    }
+
+    #[test]
+    fn late_inval_ack_after_reset_is_ignored() {
+        let (mut d, l) = dir();
+        let out = d.handle(l, HomeIn::InvalAck { from: NodeId(2) });
+        assert!(out.sends.is_empty());
+        assert_eq!(d.counters().get("unexpected_inval_acks"), 1);
+    }
+}
+
+#[cfg(test)]
+mod upgrade_tests {
+    use super::*;
+
+    fn dir() -> (Directory, LineAddr) {
+        let layout = MemLayout::new(4, 64);
+        (Directory::new(NodeId(1), layout), LineAddr(70))
+    }
+
+    #[test]
+    fn sole_sharer_upgrade_acks_without_data() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::Get { from: NodeId(2) });
+        let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
+        assert_eq!(out.sends, vec![(NodeId(2), CohMsg::UpgradeAck { line: l })]);
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn upgrade_with_other_sharers_invalidates_then_acks() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::Get { from: NodeId(2) });
+        d.handle(l, HomeIn::Get { from: NodeId(3) });
+        let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
+        assert_eq!(out.sends, vec![(NodeId(3), CohMsg::Inval { line: l })]);
+        assert!(d.state(l).is_locked());
+        let out = d.handle(l, HomeIn::InvalAck { from: NodeId(3) });
+        assert_eq!(out.sends, vec![(NodeId(2), CohMsg::UpgradeAck { line: l })]);
+        assert_eq!(d.state(l), DirState::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn upgrade_from_nonsharer_falls_back_to_full_data() {
+        let (mut d, l) = dir();
+        // Requester is not in the sharer set (silently evicted copy).
+        let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
+        match &out.sends[..] {
+            [(dst, CohMsg::Data { exclusive: true, .. })] => assert_eq!(*dst, NodeId(2)),
+            other => panic!("expected full data grant, got {other:?}"),
+        }
+        assert_eq!(d.counters().get("upgrade_fallbacks"), 1);
+    }
+
+    #[test]
+    fn upgrade_of_dirty_remote_line_recalls_owner() {
+        let (mut d, l) = dir();
+        d.handle(l, HomeIn::GetX { from: NodeId(0) });
+        let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
+        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: true, .. }));
+        assert_eq!(d.counters().get("upgrade_fallbacks"), 1);
+    }
+
+    #[test]
+    fn scan_and_prune_preserves_survivor_state() {
+        let layout = MemLayout::new(4, 8);
+        let mut d = Directory::new(NodeId(0), layout);
+        let failed = NodeSet::singleton(NodeId(3));
+        // Line 0: exclusive at the dead node -> incoherent.
+        d.handle(LineAddr(0), HomeIn::GetX { from: NodeId(3) });
+        // Line 1: exclusive at a live node -> preserved.
+        d.handle(LineAddr(1), HomeIn::GetX { from: NodeId(1) });
+        // Line 2: shared by live and dead -> dead pruned.
+        d.handle(LineAddr(2), HomeIn::Get { from: NodeId(1) });
+        d.handle(LineAddr(2), HomeIn::Get { from: NodeId(3) });
+        // Line 3: shared only by the dead node -> uncached.
+        d.handle(LineAddr(3), HomeIn::Get { from: NodeId(3) });
+        // Line 4: recall pending toward a live owner -> ownership restored.
+        d.handle(LineAddr(4), HomeIn::GetX { from: NodeId(2) });
+        d.handle(LineAddr(4), HomeIn::Get { from: NodeId(1) });
+        let marked = d.scan_and_prune(&failed);
+        assert_eq!(marked, vec![LineAddr(0)]);
+        assert_eq!(d.state(LineAddr(1)), DirState::Exclusive(NodeId(1)));
+        match d.state(LineAddr(2)) {
+            DirState::Shared(s) => {
+                assert!(s.contains(NodeId(1)) && !s.contains(NodeId(3)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.state(LineAddr(3)), DirState::Uncached);
+        assert_eq!(d.state(LineAddr(4)), DirState::Exclusive(NodeId(2)));
+    }
+}

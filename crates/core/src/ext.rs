@@ -1,0 +1,1202 @@
+//! The distributed hardware recovery algorithm (paper, Section 4),
+//! implemented as a [`flash_machine::Extension`].
+//!
+//! Each live node runs an instance of a per-node state machine; nodes
+//! communicate only through source-routed messages on the dedicated
+//! recovery lanes and local probes of adjacent routers. The phases:
+//!
+//! 1. **Recovery initiation** — the processor is dropped into the recovery
+//!    code, pending operations are NAK'd (uncached reads saved), the node
+//!    probes its vicinity and determines its set of closest working
+//!    neighbors (`cwn`), pinging them into recovery; the ping wave spreads
+//!    the trigger to every good node.
+//! 2. **Information dissemination** — synchronized rounds of `LState`/
+//!    `NState` exchange with the cwn; termination after `2h` rounds, with
+//!    `h` the BFT height at the agreed root, propagated as a hint.
+//! 3. **Interconnect recovery** — isolate failed regions, drain stalled
+//!    traffic with a two-phase agreement (bound τ), recompute deadlock-free
+//!    routing tables (up*/down*) and reprogram the routers, then barrier.
+//! 4. **Coherence-protocol recovery** — flush caches (dirty lines home),
+//!    barrier, scan directories marking lost lines incoherent, reset
+//!    state, barrier, resume (raising the OS-recovery interrupt).
+//!
+//! Additional faults detected mid-recovery (truncated packets, firmware
+//! assertions, phase watchdogs) restart the algorithm under a higher
+//! *incarnation* number that spreads with the ping wave; stale-incarnation
+//! messages are discarded.
+
+use crate::config::{RecoveryConfig, RecoveryReport};
+use crate::msg::{BarrierId, RecMsg};
+use crate::view::{Tree, View};
+use flash_coherence::NodeSet;
+use flash_machine::{Ev, Extension, FaultSpec, MachineState};
+use flash_magic::{MagicMode, Trigger};
+use flash_net::{Lane, LinkProbe, NodeId, RouterId, UGraph, MAX_SOURCE_HOPS};
+use flash_sim::{Scheduler, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Timed events private to the recovery algorithm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecEv {
+    /// A ping's reply deadline expired.
+    PingDeadline {
+        /// The waiting node.
+        node: u16,
+        /// The pinged node.
+        target: u16,
+        /// Incarnation the ping belongs to.
+        inc: u32,
+    },
+    /// A charged computation step finished.
+    StepDone {
+        /// The computing node.
+        node: u16,
+        /// Incarnation.
+        inc: u32,
+        /// Which step.
+        step: Step,
+    },
+    /// Drain-quiet polling.
+    DrainPoll {
+        /// Polling node.
+        node: u16,
+        /// Incarnation.
+        inc: u32,
+        /// Drain attempt number (re-votes after a failed agreement).
+        attempt: u32,
+    },
+    /// Poll until the node's outbound writebacks have entered the fabric,
+    /// then join the flush barrier.
+    FlushJoinPoll {
+        /// Polling node.
+        node: u16,
+        /// Incarnation.
+        inc: u32,
+    },
+    /// The barrier root polls the interconnect for complete writeback
+    /// delivery before releasing the flush barrier.
+    RootFlushPoll {
+        /// The root node.
+        node: u16,
+        /// Incarnation.
+        inc: u32,
+    },
+    /// Phase-progress watchdog.
+    Watchdog {
+        /// Watched node.
+        node: u16,
+        /// Incarnation.
+        inc: u32,
+        /// Progress stamp at scheduling time.
+        stamp: u64,
+    },
+}
+
+/// A charged computation step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Processor dropped into the recovery code.
+    DropIn,
+    /// One dissemination round's merges (and possibly the BFT computation).
+    Round {
+        /// The round being finalized.
+        round: u32,
+    },
+    /// Local router isolation reprogramming.
+    Isolate,
+    /// Routing-table recomputation.
+    RouteCompute,
+    /// The uncached cache-flush walk.
+    FlushWalk,
+    /// The directory scan.
+    Scan,
+}
+
+/// Per-node recovery phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    DropIn,
+    Explore,
+    Dissem,
+    Isolate,
+    Drain1Wait,
+    InBarrier(BarrierId),
+    RouteCompute,
+    FlushWalk,
+    FlushJoin,
+    Scan,
+    Shut,
+}
+
+#[derive(Clone, Debug, Default)]
+struct BarState {
+    ups: HashSet<u16>,
+    self_joined: bool,
+    ok: bool,
+    released: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PingState {
+    route: Vec<RouterId>,
+    retries: u32,
+}
+
+#[derive(Clone, Debug)]
+struct NodeRec {
+    inc: u32,
+    phase: Phase,
+    view: View,
+    // --- exploration ---
+    visited: HashSet<u16>,
+    pending_pings: HashMap<u16, PingState>,
+    routes: HashMap<u16, Vec<RouterId>>,
+    cwn: Vec<u16>,
+    // --- dissemination ---
+    round: u32,
+    inbox: HashMap<(u16, u32), (View, Option<u32>)>,
+    bound: Option<u32>,
+    computing_round: bool,
+    // --- barriers / P3 / P4 ---
+    tree: Option<Tree>,
+    bars: HashMap<BarrierId, BarState>,
+    stashed_ups: Vec<(u16, BarrierId, bool)>,
+    vote1_at: Option<SimTime>,
+    drain_attempt: u32,
+    progress: u64,
+}
+
+impl NodeRec {
+    fn new() -> Self {
+        NodeRec {
+            inc: 0,
+            phase: Phase::Idle,
+            view: View::new(),
+            visited: HashSet::new(),
+            pending_pings: HashMap::new(),
+            routes: HashMap::new(),
+            cwn: Vec::new(),
+            round: 0,
+            inbox: HashMap::new(),
+            bound: None,
+            computing_round: false,
+            tree: None,
+            bars: HashMap::new(),
+            stashed_ups: Vec::new(),
+            vote1_at: None,
+            drain_attempt: 0,
+            progress: 0,
+        }
+    }
+
+    fn reset_for(&mut self, inc: u32) {
+        let progress = self.progress + 1;
+        *self = NodeRec::new();
+        self.inc = inc;
+        self.progress = progress;
+    }
+}
+
+type Sched<'a, 'b> = &'a mut Scheduler<'b, Ev<RecEv>>;
+type St = MachineState<RecMsg>;
+
+/// The recovery algorithm extension: plugs into
+/// [`flash_machine::Machine`] and reacts to the hardware triggers of
+/// Table 4.1.
+#[derive(Debug)]
+pub struct RecoveryExt {
+    /// Algorithm parameters.
+    pub cfg: RecoveryConfig,
+    nodes: Vec<NodeRec>,
+    design: Option<UGraph>,
+    /// Hive failure units: when set, a node whose unit lost any member
+    /// shuts itself down after recovery (Section 3.3).
+    units: Option<Vec<NodeSet>>,
+    /// Execution summary.
+    pub report: RecoveryReport,
+    max_inc: u32,
+    active: bool,
+    started: HashSet<u16>,
+    done_p1: HashSet<u16>,
+    done_p2: HashSet<u16>,
+    done_p3: HashSet<u16>,
+    done_p4: HashSet<u16>,
+}
+
+impl RecoveryExt {
+    /// Creates the extension for a machine with `n_nodes` nodes.
+    pub fn new(n_nodes: usize, cfg: RecoveryConfig) -> Self {
+        RecoveryExt {
+            cfg,
+            nodes: (0..n_nodes).map(|_| NodeRec::new()).collect(),
+            design: None,
+            units: None,
+            report: RecoveryReport::default(),
+            max_inc: 0,
+            active: false,
+            started: HashSet::new(),
+            done_p1: HashSet::new(),
+            done_p2: HashSet::new(),
+            done_p3: HashSet::new(),
+            done_p4: HashSet::new(),
+        }
+    }
+
+    /// Configures Hive failure units (each node must appear in exactly one
+    /// set).
+    pub fn set_failure_units(&mut self, units: Vec<NodeSet>) {
+        self.units = Some(units);
+    }
+
+    /// Clears the accumulated report (between experiments on a reused
+    /// machine).
+    pub fn reset_report(&mut self) {
+        self.report = RecoveryReport::default();
+    }
+
+    /// Whether any node is currently executing the recovery algorithm.
+    pub fn recovery_active(&self) -> bool {
+        self.active
+    }
+
+    /// The current incarnation number (0 before the first recovery).
+    pub fn incarnation(&self) -> u32 {
+        self.max_inc
+    }
+
+    fn design(&mut self, st: &St) -> UGraph {
+        if self.design.is_none() {
+            self.design = Some(st.fabric.design_graph().clone());
+        }
+        self.design.clone().expect("set above")
+    }
+
+    // ------------------------------------------------------------------
+    // Message plumbing
+    // ------------------------------------------------------------------
+
+    fn send(
+        &mut self,
+        st: &mut St,
+        from: u16,
+        to: u16,
+        msg: RecMsg,
+        lane: Lane,
+        sched: Sched<'_, '_>,
+    ) {
+        let route = match self.nodes[from as usize].routes.get(&to) {
+            Some(r) => Some(r.clone()),
+            None => {
+                let design = self.design(st);
+                self.nodes[from as usize]
+                    .view
+                    .route_between(&design, NodeId(from), NodeId(to))
+            }
+        };
+        let Some(route) = route else {
+            st.counters.incr("recovery_msg_unroutable");
+            return;
+        };
+        st.send_recovery(NodeId(from), NodeId(to), route, lane, msg, sched);
+    }
+
+    fn bump_progress(&mut self, st: &St, node: u16, sched: Sched<'_, '_>) {
+        let rec = &mut self.nodes[node as usize];
+        rec.progress += 1;
+        let stamp = rec.progress;
+        let inc = rec.inc;
+        let _ = st;
+        sched.after(
+            self.cfg.watchdog,
+            Ev::Ext(RecEv::Watchdog { node, inc, stamp }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 1: recovery initiation
+    // ------------------------------------------------------------------
+
+    /// Starts (or restarts) recovery on `node` under incarnation `inc`.
+    fn start(&mut self, st: &mut St, node: u16, inc: u32, sched: Sched<'_, '_>) {
+        if !st.nodes[node as usize].is_alive() {
+            return;
+        }
+        if inc > self.max_inc {
+            if self.max_inc >= 1 {
+                self.report.restarts += 1;
+            }
+            self.max_inc = inc;
+            // A restart invalidates earlier completion bookkeeping.
+            self.started.clear();
+            self.done_p1.clear();
+            self.done_p2.clear();
+            self.done_p3.clear();
+            self.done_p4.clear();
+        }
+        if !self.active {
+            self.active = true;
+            self.report.phases.triggered_at = Some(sched.now());
+        }
+        st.counters.incr("recovery_starts");
+        st.trace.record(
+            sched.now(),
+            flash_machine::TraceEvent::Note("recovery_start(node,inc)", ((node as u64) << 32) | inc as u64),
+        );
+        self.started.insert(node);
+        if self.report.wave_complete_at.is_none() && self.done_for_all(st, &self.started.clone()) {
+            self.report.wave_complete_at = Some(sched.now());
+        }
+        st.enter_recovery_mode(NodeId(node));
+        st.drop_processor_into_recovery(NodeId(node));
+        self.nodes[node as usize].reset_for(inc);
+        self.nodes[node as usize].view.set_node_up(NodeId(node));
+        self.bump_progress(st, node, sched);
+
+        // Speculative pings to immediate neighbors before exploration — the
+        // ~5x faster trigger wave of Section 4.2.
+        if self.cfg.speculative_pings {
+            let own_router = RouterId(node);
+            let nbrs: Vec<RouterId> =
+                st.fabric.neighbors(own_router).iter().map(|n| n.router).collect();
+            for nbr in nbrs {
+                let ping = RecMsg::Ping { inc, reply_route: vec![own_router] };
+                st.send_recovery(
+                    NodeId(node),
+                    NodeId(nbr.0),
+                    vec![nbr],
+                    Lane::Recovery0,
+                    ping,
+                    sched,
+                );
+            }
+        }
+
+        self.nodes[node as usize].phase = Phase::DropIn;
+        sched.after(
+            self.cfg.instr(self.cfg.drop_in_instr),
+            Ev::Ext(RecEv::StepDone { node, inc, step: Step::DropIn }),
+        );
+    }
+
+    /// Expands cwn exploration through router `r` (reached via `route`).
+    fn expand(&mut self, st: &mut St, node: u16, r: RouterId, route: Vec<RouterId>, sched: Sched<'_, '_>) {
+        let nbrs: Vec<(usize, RouterId)> = st
+            .fabric
+            .neighbors(r)
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i, n.router))
+            .collect();
+        let inc = self.nodes[node as usize].inc;
+        for (port, s) in nbrs {
+            if self.nodes[node as usize].visited.contains(&s.0) {
+                continue;
+            }
+            match st.fabric.probe(r, port) {
+                LinkProbe::NoSuchLink => {}
+                LinkProbe::LinkDead => {
+                    // The far side may still be reachable another way; do
+                    // not mark it visited.
+                    self.nodes[node as usize].view.set_link_down(r, s);
+                }
+                LinkProbe::RouterDead => {
+                    self.nodes[node as usize].visited.insert(s.0);
+                    self.nodes[node as usize].view.set_link_down(r, s);
+                    self.nodes[node as usize].view.set_node_down(NodeId(s.0));
+                }
+                LinkProbe::Alive => {
+                    self.nodes[node as usize].visited.insert(s.0);
+                    self.nodes[node as usize].view.set_link_up(r, s);
+                    let mut ping_route = route.clone();
+                    ping_route.push(s);
+                    let mut reply_route: Vec<RouterId> =
+                        route.iter().rev().copied().collect();
+                    reply_route.push(RouterId(node));
+                    let ping = RecMsg::Ping { inc, reply_route };
+                    st.send_recovery(
+                        NodeId(node),
+                        NodeId(s.0),
+                        ping_route.clone(),
+                        Lane::Recovery0,
+                        ping,
+                        sched,
+                    );
+                    self.nodes[node as usize]
+                        .pending_pings
+                        .insert(s.0, PingState { route: ping_route, retries: 0 });
+                    sched.after(
+                        self.cfg.ping_timeout,
+                        Ev::Ext(RecEv::PingDeadline { node, target: s.0, inc }),
+                    );
+                }
+            }
+        }
+    }
+
+    fn check_explore_done(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        if self.nodes[node as usize].phase != Phase::Explore
+            || !self.nodes[node as usize].pending_pings.is_empty()
+        {
+            return;
+        }
+        // Exploration complete: enter dissemination round 1.
+        self.nodes[node as usize].phase = Phase::Dissem;
+        self.nodes[node as usize].round = 1;
+        self.done_p1.insert(node);
+        self.mark_phase_progress(st, sched.now());
+        self.bump_progress(st, node, sched);
+        self.send_round_exchanges(st, node, sched);
+        self.try_advance_round(st, node, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 2: information dissemination
+    // ------------------------------------------------------------------
+
+    fn send_round_exchanges(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        let rec = &self.nodes[node as usize];
+        let (inc, round, view, hint) = (rec.inc, rec.round, rec.view.clone(), rec.bound);
+        let cwn = rec.cwn.clone();
+        let own_router = RouterId(node);
+        for m in cwn {
+            let fwd = self.nodes[node as usize]
+                .routes
+                .get(&m)
+                .cloned()
+                .unwrap_or_default();
+            // Reply route: reverse the forward route, replacing the final
+            // hop with our own router.
+            let mut reply_route: Vec<RouterId> = fwd
+                .iter()
+                .rev()
+                .skip(1)
+                .copied()
+                .collect();
+            reply_route.push(own_router);
+            let msg = RecMsg::Exchange {
+                inc,
+                round,
+                view: view.clone(),
+                hint,
+                reply_route,
+            };
+            self.send(st, node, m, msg, Lane::Recovery1, sched);
+        }
+    }
+
+    fn try_advance_round(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        let rec = &self.nodes[node as usize];
+        if rec.phase != Phase::Dissem || rec.computing_round {
+            return;
+        }
+        let round = rec.round;
+        let cwn = rec.cwn.clone();
+        if !cwn.iter().all(|m| rec.inbox.contains_key(&(*m, round))) {
+            return;
+        }
+        // All round-r vectors in hand: merge, then charge the round cost.
+        let inc = rec.inc;
+        let mut changed = false;
+        let mut hint_seen = None;
+        for m in &cwn {
+            let (v, hint) = self.nodes[node as usize]
+                .inbox
+                .remove(&(*m, round))
+                .expect("checked above");
+            if self.nodes[node as usize].view.merge(&v) {
+                changed = true;
+            }
+            if hint_seen.is_none() {
+                hint_seen = hint;
+            }
+        }
+        let n = st.num_nodes() as u64;
+        let mut cost = self.cfg.merge_base_instr
+            + cwn.len() as u64 * self.cfg.merge_per_node_instr * n;
+        // Stabilized and no bound yet: compute it (unless a hint arrived and
+        // hints are enabled — the deferred-BFT optimization).
+        let rec = &mut self.nodes[node as usize];
+        if rec.bound.is_none() {
+            if let Some(h) = hint_seen.filter(|_| self.cfg.bft_hints) {
+                rec.bound = Some(h);
+            } else if !changed && round > 1 {
+                // View stable for a full round => complete: compute the
+                // round bound (2h, or the tighter center-based estimate).
+                let design = self.design(st);
+                let view = &self.nodes[node as usize].view;
+                let b = if self.cfg.center_diameter_bound {
+                    // Two sweeps + reverse distances + up to 4 candidate
+                    // eccentricities + the 2h fallback: ~8 BFS traversals.
+                    cost += 8 * self.cfg.bft_per_node_instr * n;
+                    view.round_bound_center(&design)
+                } else {
+                    cost += self.cfg.bft_per_node_instr * n;
+                    view.round_bound(&design)
+                };
+                self.nodes[node as usize].bound = Some(b);
+            }
+        }
+        self.nodes[node as usize].computing_round = true;
+        sched.after(
+            self.cfg.instr(cost),
+            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Round { round } }),
+        );
+    }
+
+    fn finish_round(&mut self, st: &mut St, node: u16, round: u32, sched: Sched<'_, '_>) {
+        let rec = &mut self.nodes[node as usize];
+        if rec.phase != Phase::Dissem || rec.round != round {
+            return;
+        }
+        rec.computing_round = false;
+        rec.round += 1;
+        self.bump_progress(st, node, sched);
+        let rec = &self.nodes[node as usize];
+        if let Some(b) = rec.bound {
+            if rec.round > b.max(1) {
+                self.enter_p3(st, node, sched);
+                return;
+            }
+        }
+        self.send_round_exchanges(st, node, sched);
+        self.try_advance_round(st, node, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 3: interconnect recovery
+    // ------------------------------------------------------------------
+
+    fn enter_p3(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        st.trace.record(
+            sched.now(),
+            flash_machine::TraceEvent::Note("enter_p3(node)", node as u64),
+        );
+        self.done_p2.insert(node);
+        self.mark_phase_progress(st, sched.now());
+        let design = self.design(st);
+        let rec = &self.nodes[node as usize];
+        let inc = rec.inc;
+        let view = rec.view.clone();
+
+        // Shutdown heuristic against split-brain operation (§4.2): a node
+        // that cannot account for a quorum of the machine (unreachable
+        // nodes count as lost) halts rather than risk divergent operation.
+        let total = st.num_nodes();
+        let failed = total - view.live_nodes().len().min(total);
+        if (failed as f64) > self.cfg.shutdown_fraction * total as f64 {
+            self.report.machine_halted = true;
+            self.nodes[node as usize].phase = Phase::Shut;
+            st.apply_fault(&FaultSpec::Node(NodeId(node)), sched.now());
+            return;
+        }
+
+        // Node map update: live nodes minus doomed failure units.
+        let effective = self.effective_live(&view);
+        st.nodes[node as usize].node_map.reprogram(&effective);
+
+        // Barrier tree for the rest of the algorithm.
+        let tree = view.bft_tree(&design);
+        self.nodes[node as usize].tree = Some(tree);
+        self.nodes[node as usize].bars = BarrierId::ALL
+            .iter()
+            .map(|&id| (id, BarState { ok: true, ..BarState::default() }))
+            .collect();
+        // Process any barrier joins that raced ahead of us.
+        let stashed = std::mem::take(&mut self.nodes[node as usize].stashed_ups);
+        for (from, id, ok) in stashed {
+            self.on_bar_up(st, node, from, id, ok, sched);
+        }
+
+        // Isolation: reprogram the local router (and adjacent dead
+        // controllers' ejection ports).
+        st.apply_isolation_for(NodeId(node), &view.failed_nodes());
+        self.nodes[node as usize].phase = Phase::Isolate;
+        sched.after(
+            self.cfg.instr(self.cfg.isolate_instr),
+            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Isolate }),
+        );
+    }
+
+    /// Live nodes minus failure units that lost a member (those shut down
+    /// at the end of recovery and must not be re-used by survivors).
+    fn effective_live(&self, view: &View) -> NodeSet {
+        let mut live = view.live_nodes();
+        if let Some(units) = &self.units {
+            let failed = view.failed_nodes();
+            for unit in units {
+                if unit.intersects(&failed) {
+                    live.subtract(unit);
+                }
+            }
+        }
+        live
+    }
+
+    fn start_drain_wait(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        let rec = &mut self.nodes[node as usize];
+        rec.phase = Phase::Drain1Wait;
+        rec.drain_attempt += 1;
+        rec.vote1_at = None;
+        let (inc, attempt) = (rec.inc, rec.drain_attempt);
+        self.bump_progress(st, node, sched);
+        sched.immediately(Ev::Ext(RecEv::DrainPoll { node, inc, attempt }));
+    }
+
+    fn drain_poll(&mut self, st: &mut St, node: u16, attempt: u32, sched: Sched<'_, '_>) {
+        let rec = &self.nodes[node as usize];
+        if rec.phase != Phase::Drain1Wait || rec.drain_attempt != attempt {
+            return;
+        }
+        let last = st.fabric.last_coherence_delivery(NodeId(node));
+        let quiet = sched.now().since(last) >= self.cfg.drain_tau;
+        if quiet {
+            self.nodes[node as usize].vote1_at = Some(sched.now());
+            self.join_barrier(st, node, BarrierId::Drain1, true, sched);
+        } else {
+            let inc = self.nodes[node as usize].inc;
+            sched.after(
+                self.cfg.drain_poll,
+                Ev::Ext(RecEv::DrainPoll { node, inc, attempt }),
+            );
+        }
+    }
+
+    fn compute_and_install_routes(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        let design = self.design(st);
+        let view = self.nodes[node as usize].view.clone();
+        // Router graph from probed-alive links; a dead node's router still
+        // routes traffic.
+        let n = design.len();
+        let mut g = UGraph::new(n);
+        let mut alive = vec![false; n];
+        for &(a, b) in &view.links_up {
+            g.add_edge(a, b);
+            alive[a as usize] = true;
+            alive[b as usize] = true;
+        }
+        let Some(root) = view.root() else { return };
+        alive[root.index()] = true;
+        let tables = flash_net::up_down_tables(&g, &alive, RouterId(root.0));
+        // Install our own router's row.
+        st.install_router_row(RouterId(node), &tables);
+        // The root additionally programs routers not owned by any live node
+        // (routers of failed nodes that survived the fault).
+        if view.root() == Some(NodeId(node)) {
+            for r in 0..n as u16 {
+                if alive[r as usize] && !view.live_nodes().contains(NodeId(r)) {
+                    st.install_router_row(RouterId(r), &tables);
+                }
+            }
+        }
+        self.join_barrier(st, node, BarrierId::Routes, true, sched);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase 4: coherence-protocol recovery
+    // ------------------------------------------------------------------
+
+    fn start_flush(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        self.done_p3.insert(node);
+        self.mark_phase_progress(st, sched.now());
+        if self.report.p4_started_at.is_none() {
+            self.report.p4_started_at = Some(sched.now());
+        }
+        st.nodes[node as usize].mode = MagicMode::Recovery;
+        // With HAL-style end-to-end interconnect reliability the flush step
+        // is eliminated (paper, Section 6.3); caches stay warm and the
+        // directory is pruned during the scan instead.
+        let walk_ns = if self.cfg.reliable_interconnect {
+            0
+        } else {
+            let sent = st.flush_cache_for_recovery(NodeId(node), sched);
+            self.report.flush_writebacks += sent as u64;
+            st.params.l2_lines() as u64 * self.cfg.flush_per_line_ns
+        };
+        let inc = self.nodes[node as usize].inc;
+        self.nodes[node as usize].phase = Phase::FlushWalk;
+        self.bump_progress(st, node, sched);
+        sched.after(
+            flash_sim::SimDuration::from_nanos(walk_ns),
+            Ev::Ext(RecEv::StepDone { node, inc, step: Step::FlushWalk }),
+        );
+    }
+
+    fn flush_join_poll(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        if self.nodes[node as usize].phase != Phase::FlushJoin {
+            return;
+        }
+        let outbox_empty = st.nodes[node as usize].outbox[Lane::Request.index()].is_empty();
+        if outbox_empty {
+            self.join_barrier(st, node, BarrierId::Flush, true, sched);
+        } else {
+            let inc = self.nodes[node as usize].inc;
+            sched.after(
+                self.cfg.drain_poll,
+                Ev::Ext(RecEv::FlushJoinPoll { node, inc }),
+            );
+        }
+    }
+
+    fn start_scan(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        if self.report.flush_done_at.is_none() {
+            self.report.flush_done_at = Some(sched.now());
+        }
+        let marked = if self.cfg.reliable_interconnect {
+            let failed = self.nodes[node as usize].view.failed_nodes();
+            st.nodes[node as usize].dir.scan_and_prune(&failed)
+        } else {
+            st.nodes[node as usize].dir.scan_and_reset()
+        };
+        self.report.lines_marked_incoherent += marked.len() as u64;
+        st.counters.add("lines_marked_incoherent", marked.len() as u64);
+        let scan_ns = st.layout.lines_per_node()
+            * st.params.magic.costs.dir_scan_per_line_ns;
+        let inc = self.nodes[node as usize].inc;
+        self.nodes[node as usize].phase = Phase::Scan;
+        self.bump_progress(st, node, sched);
+        sched.after(
+            flash_sim::SimDuration::from_nanos(scan_ns),
+            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Scan }),
+        );
+    }
+
+    fn complete_recovery(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        st.trace.record(
+            sched.now(),
+            flash_machine::TraceEvent::Note("recovery_complete(node)", node as u64),
+        );
+        let view = self.nodes[node as usize].view.clone();
+        let doomed = {
+            let effective = self.effective_live(&view);
+            !effective.contains(NodeId(node))
+        };
+        if doomed {
+            // Clean shutdown of the whole failure unit (Section 3.3).
+            self.report.nodes_shut_down += 1;
+            self.nodes[node as usize].phase = Phase::Shut;
+            st.apply_fault(&FaultSpec::Node(NodeId(node)), sched.now());
+        } else {
+            self.report.nodes_resumed += 1;
+            self.nodes[node as usize].phase = Phase::Idle;
+            st.resume_after_recovery(NodeId(node), sched);
+        }
+        self.done_p4.insert(node);
+        self.mark_phase_progress(st, sched.now());
+        if self.done_for_all(st, &self.done_p4) {
+            self.active = false;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    fn join_barrier(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+        self.nodes[node as usize].phase = Phase::InBarrier(id);
+        {
+            let bar = self.nodes[node as usize]
+                .bars
+                .entry(id)
+                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+            if bar.self_joined {
+                return;
+            }
+            bar.self_joined = true;
+            bar.ok &= ok;
+        }
+        self.bump_progress(st, node, sched);
+        self.maybe_send_up(st, node, id, sched);
+    }
+
+    fn on_bar_up(&mut self, st: &mut St, node: u16, from: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+        if self.nodes[node as usize].tree.is_none() {
+            self.nodes[node as usize].stashed_ups.push((from, id, ok));
+            return;
+        }
+        {
+            let bar = self.nodes[node as usize]
+                .bars
+                .entry(id)
+                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+            bar.ups.insert(from);
+            bar.ok &= ok;
+        }
+        self.maybe_send_up(st, node, id, sched);
+    }
+
+    fn maybe_send_up(&mut self, st: &mut St, node: u16, id: BarrierId, sched: Sched<'_, '_>) {
+        let Some(tree) = self.nodes[node as usize].tree.clone() else { return };
+        let children: Vec<u16> = tree.children[node as usize].iter().map(|c| c.0).collect();
+        let (joined, have_all, ok, released) = {
+            let bar = self.nodes[node as usize]
+                .bars
+                .entry(id)
+                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+            (
+                bar.self_joined,
+                children.iter().all(|c| bar.ups.contains(c)),
+                bar.ok,
+                bar.released,
+            )
+        };
+        if !joined || !have_all || released {
+            return;
+        }
+        let inc = self.nodes[node as usize].inc;
+        if tree.is_root(NodeId(node)) {
+            // The flush barrier's root additionally waits for the fabric's
+            // coherence lanes to drain — standing in for CrayLink's in-order
+            // delivery guarantee that writebacks precede the barrier
+            // messages (see DESIGN.md).
+            if id == BarrierId::Flush && st.fabric.in_flight_coherence() > 0 {
+                sched.after(
+                    self.cfg.drain_poll,
+                    Ev::Ext(RecEv::RootFlushPoll { node, inc }),
+                );
+                return;
+            }
+            self.release_barrier(st, node, id, ok, sched);
+        } else if let Some(parent) = tree.parent[node as usize] {
+            let msg = RecMsg::BarUp { inc, id, ok };
+            self.send(st, node, parent.0, msg, Lane::Recovery1, sched);
+        }
+    }
+
+    fn release_barrier(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+        {
+            let bar = self.nodes[node as usize]
+                .bars
+                .entry(id)
+                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+            if bar.released {
+                return;
+            }
+            bar.released = true;
+        }
+        let Some(tree) = self.nodes[node as usize].tree.clone() else { return };
+        let inc = self.nodes[node as usize].inc;
+        for c in &tree.children[node as usize] {
+            let msg = RecMsg::BarDown { inc, id, ok };
+            self.send(st, node, c.0, msg, Lane::Recovery1, sched);
+        }
+        self.on_barrier_complete(st, node, id, ok, sched);
+    }
+
+    fn on_bar_down(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+        self.release_barrier(st, node, id, ok, sched);
+    }
+
+    fn on_barrier_complete(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+        self.bump_progress(st, node, sched);
+        match id {
+            BarrierId::Drain1 => {
+                // Second vote: still quiet since the first vote?
+                let last = st.fabric.last_coherence_delivery(NodeId(node));
+                let quiet = self.nodes[node as usize]
+                    .vote1_at
+                    .map(|v| last <= v)
+                    .unwrap_or(false);
+                self.join_barrier(st, node, BarrierId::Drain2, quiet, sched);
+            }
+            BarrierId::Drain2 => {
+                if ok {
+                    let inc = self.nodes[node as usize].inc;
+                    self.nodes[node as usize].phase = Phase::RouteCompute;
+                    let n = st.num_nodes() as u64;
+                    sched.after(
+                        self.cfg.instr(self.cfg.route_per_node_instr * n),
+                        Ev::Ext(RecEv::StepDone { node, inc, step: Step::RouteCompute }),
+                    );
+                } else {
+                    // Stalled traffic was still moving: restart the
+                    // agreement (never observed to happen in the paper's
+                    // experiments either, but supported).
+                    st.counters.incr("drain_agreement_restarts");
+                    let bars = &mut self.nodes[node as usize].bars;
+                    bars.insert(BarrierId::Drain1, BarState { ok: true, ..BarState::default() });
+                    bars.insert(BarrierId::Drain2, BarState { ok: true, ..BarState::default() });
+                    self.start_drain_wait(st, node, sched);
+                }
+            }
+            BarrierId::Routes => self.start_flush(st, node, sched),
+            BarrierId::Flush => self.start_scan(st, node, sched),
+            BarrierId::Scan => self.complete_recovery(st, node, sched),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    fn done_for_all(&self, st: &St, set: &HashSet<u16>) -> bool {
+        st.nodes
+            .iter()
+            .filter(|n| n.is_alive())
+            .all(|n| set.contains(&n.id.0))
+            || st.nodes.iter().all(|n| !n.is_alive())
+    }
+
+    fn mark_phase_progress(&mut self, st: &St, now: SimTime) {
+        if self.report.phases.p1_done.is_none() && self.done_for_all(st, &self.done_p1.clone()) {
+            self.report.phases.p1_done = Some(now);
+        }
+        if self.report.phases.p2_done.is_none() && self.done_for_all(st, &self.done_p2.clone()) {
+            self.report.phases.p2_done = Some(now);
+        }
+        if self.report.phases.p3_done.is_none() && self.done_for_all(st, &self.done_p3.clone()) {
+            self.report.phases.p3_done = Some(now);
+        }
+        if self.report.phases.p4_done.is_none() && self.done_for_all(st, &self.done_p4.clone()) {
+            self.report.phases.p4_done = Some(now);
+        }
+    }
+}
+
+impl Extension for RecoveryExt {
+    type Msg = RecMsg;
+    type Ev = RecEv;
+
+    fn on_trigger(&mut self, st: &mut St, node: NodeId, trig: Trigger, sched: &mut Scheduler<'_, Ev<RecEv>>) {
+        if !st.nodes[node.index()].is_alive() {
+            return;
+        }
+        let rec = &self.nodes[node.index()];
+        match rec.phase {
+            Phase::Idle => {
+                st.counters.incr("recovery_triggers");
+                // Concurrent independent triggers (many nodes timing out on
+                // the same dead home) join the active incarnation; a fresh
+                // fault after a completed recovery starts a new one.
+                let inc = if self.active { self.max_inc.max(1) } else { self.max_inc + 1 };
+                self.start(st, node.0, inc, sched);
+            }
+            Phase::Shut => {}
+            _ => {
+                // Already recovering: only evidence of a *new* fault
+                // restarts the algorithm.
+                if matches!(trig, Trigger::TruncatedPacket | Trigger::AssertionFailure) {
+                    st.counters.incr("recovery_restarts_trigger");
+                    let inc = self.max_inc.max(rec.inc) + 1;
+                    self.start(st, node.0, inc, sched);
+                }
+            }
+        }
+    }
+
+    fn on_event(&mut self, st: &mut St, ev: RecEv, sched: &mut Scheduler<'_, Ev<RecEv>>) {
+        // Events belonging to a node that has since died are void — a dead
+        // controller runs nothing.
+        let owner = match &ev {
+            RecEv::PingDeadline { node, .. }
+            | RecEv::StepDone { node, .. }
+            | RecEv::DrainPoll { node, .. }
+            | RecEv::FlushJoinPoll { node, .. }
+            | RecEv::RootFlushPoll { node, .. }
+            | RecEv::Watchdog { node, .. } => *node,
+        };
+        if !st.nodes[owner as usize].is_alive() {
+            return;
+        }
+        match ev {
+            RecEv::StepDone { node, inc, step } => {
+                if self.nodes[node as usize].inc != inc {
+                    return;
+                }
+                match step {
+                    Step::DropIn => {
+                        if self.nodes[node as usize].phase != Phase::DropIn {
+                            return;
+                        }
+                        self.nodes[node as usize].phase = Phase::Explore;
+                        self.nodes[node as usize].visited.insert(node);
+                        self.expand(st, node, RouterId(node), Vec::new(), sched);
+                        self.check_explore_done(st, node, sched);
+                    }
+                    Step::Round { round } => self.finish_round(st, node, round, sched),
+                    Step::Isolate => {
+                        if self.nodes[node as usize].phase == Phase::Isolate {
+                            self.start_drain_wait(st, node, sched);
+                        }
+                    }
+                    Step::RouteCompute => {
+                        if self.nodes[node as usize].phase == Phase::RouteCompute {
+                            self.compute_and_install_routes(st, node, sched);
+                        }
+                    }
+                    Step::FlushWalk => {
+                        if self.nodes[node as usize].phase == Phase::FlushWalk {
+                            self.nodes[node as usize].phase = Phase::FlushJoin;
+                            self.flush_join_poll(st, node, sched);
+                        }
+                    }
+                    Step::Scan => {
+                        if self.nodes[node as usize].phase == Phase::Scan {
+                            // This home's directory is reset: return to
+                            // normal dispatch now, so requests from nodes
+                            // released earlier by the final barrier are
+                            // serviced rather than silently drained.
+                            st.nodes[node as usize].mode = MagicMode::Normal;
+                            self.join_barrier(st, node, BarrierId::Scan, true, sched);
+                        }
+                    }
+                }
+            }
+            RecEv::PingDeadline { node, target, inc } => {
+                if self.nodes[node as usize].inc != inc {
+                    return;
+                }
+                let Some(ping) = self.nodes[node as usize].pending_pings.get(&target).cloned()
+                else {
+                    return;
+                };
+                if ping.retries < self.cfg.ping_retries {
+                    // Retry.
+                    let route = ping.route.clone();
+                    self.nodes[node as usize]
+                        .pending_pings
+                        .get_mut(&target)
+                        .expect("present")
+                        .retries += 1;
+                    let mut reply_route: Vec<RouterId> =
+                        route.iter().rev().skip(1).copied().collect();
+                    reply_route.push(RouterId(node));
+                    let msg = RecMsg::Ping { inc, reply_route };
+                    st.send_recovery(
+                        NodeId(node),
+                        NodeId(target),
+                        route,
+                        Lane::Recovery0,
+                        msg,
+                        sched,
+                    );
+                    sched.after(
+                        self.cfg.ping_timeout,
+                        Ev::Ext(RecEv::PingDeadline { node, target, inc }),
+                    );
+                } else {
+                    // Declared failed: explore through its router.
+                    let ping = self.nodes[node as usize]
+                        .pending_pings
+                        .remove(&target)
+                        .expect("present");
+                    self.nodes[node as usize].view.set_node_down(NodeId(target));
+                    if ping.route.len() < MAX_SOURCE_HOPS {
+                        self.expand(st, node, RouterId(target), ping.route, sched);
+                    }
+                    self.check_explore_done(st, node, sched);
+                }
+            }
+            RecEv::DrainPoll { node, inc, attempt } => {
+                if self.nodes[node as usize].inc == inc {
+                    self.drain_poll(st, node, attempt, sched);
+                }
+            }
+            RecEv::FlushJoinPoll { node, inc } => {
+                if self.nodes[node as usize].inc == inc {
+                    self.flush_join_poll(st, node, sched);
+                }
+            }
+            RecEv::RootFlushPoll { node, inc } => {
+                if self.nodes[node as usize].inc == inc {
+                    self.maybe_send_up(st, node, BarrierId::Flush, sched);
+                }
+            }
+            RecEv::Watchdog { node, inc, stamp } => {
+                let rec = &self.nodes[node as usize];
+                if rec.inc != inc || rec.progress != stamp {
+                    return;
+                }
+                if matches!(rec.phase, Phase::Idle | Phase::Shut) {
+                    return;
+                }
+                // No progress for a whole watchdog period: treat as an
+                // additional failure and restart.
+                st.counters.incr("recovery_watchdog_restarts");
+                let new_inc = self.max_inc.max(inc) + 1;
+                self.start(st, node, new_inc, sched);
+            }
+        }
+    }
+
+    fn on_recovery_msg(
+        &mut self,
+        st: &mut St,
+        at: NodeId,
+        from: NodeId,
+        msg: RecMsg,
+        sched: &mut Scheduler<'_, Ev<RecEv>>,
+    ) {
+        if !st.nodes[at.index()].is_alive() {
+            return;
+        }
+        let my_inc = self.nodes[at.index()].inc;
+        let msg_inc = msg.inc();
+        // Adopt newer incarnations; drop stale ones (except pings, which get
+        // a reply telling the sender our newer incarnation).
+        let idle_join = self.nodes[at.index()].phase == Phase::Idle && msg_inc > 0 && self.active;
+        if (msg_inc > my_inc || idle_join)
+            && !matches!(self.nodes[at.index()].phase, Phase::Shut)
+        {
+            self.start(st, at.0, msg_inc.max(my_inc), sched);
+        }
+        let my_inc = self.nodes[at.index()].inc;
+        match msg {
+            RecMsg::Ping { inc, reply_route } => {
+                let reply = RecMsg::PingReply { inc: my_inc.max(inc) };
+                st.send_recovery(at, from, reply_route, Lane::Recovery0, reply, sched);
+            }
+            RecMsg::PingReply { inc } => {
+                if inc > my_inc {
+                    self.start(st, at.0, inc, sched);
+                    return;
+                }
+                if inc < my_inc {
+                    return;
+                }
+                let rec = &mut self.nodes[at.index()];
+                rec.view.set_node_up(from);
+                if let Some(p) = rec.pending_pings.remove(&from.0) {
+                    rec.routes.insert(from.0, p.route);
+                    if !rec.cwn.contains(&from.0) {
+                        rec.cwn.push(from.0);
+                    }
+                    self.check_explore_done(st, at.0, sched);
+                } else if st
+                    .fabric
+                    .neighbors(RouterId(at.0))
+                    .iter()
+                    .any(|n| n.router.0 == from.0)
+                {
+                    // Reply to a speculative ping from a direct neighbor.
+                    let rec = &mut self.nodes[at.index()];
+                    rec.routes.entry(from.0).or_insert_with(|| vec![RouterId(from.0)]);
+                }
+            }
+            RecMsg::Exchange { inc, round, view, hint, reply_route } => {
+                if inc != my_inc {
+                    return;
+                }
+                let rec = &mut self.nodes[at.index()];
+                // An exchange partner we did not discover ourselves (cwn
+                // asymmetry): adopt it.
+                if !rec.cwn.contains(&from.0) {
+                    rec.cwn.push(from.0);
+                    rec.routes.insert(from.0, reply_route);
+                }
+                rec.inbox.insert((from.0, round), (view, hint));
+                self.try_advance_round(st, at.0, sched);
+            }
+            RecMsg::BarUp { inc, id, ok } => {
+                if inc == my_inc {
+                    self.on_bar_up(st, at.0, from.0, id, ok, sched);
+                }
+            }
+            RecMsg::BarDown { inc, id, ok } => {
+                if inc == my_inc {
+                    self.on_bar_down(st, at.0, id, ok, sched);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Wire messages of the distributed recovery algorithm, carried on the two
+//! dedicated recovery virtual lanes as source-routed packets (Section 4.1).
+
+use crate::view::View;
+use flash_net::RouterId;
+
+/// Identifies one of the global barriers of the recovery algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BarrierId {
+    /// First drain vote (interconnect recovery, phase 1 of the two-phase
+    /// agreement).
+    Drain1,
+    /// Second drain vote.
+    Drain2,
+    /// All routing tables reprogrammed.
+    Routes,
+    /// All caches flushed and writebacks home.
+    Flush,
+    /// All directories scanned and reset.
+    Scan,
+}
+
+impl BarrierId {
+    /// All barriers in execution order.
+    pub const ALL: [BarrierId; 5] = [
+        BarrierId::Drain1,
+        BarrierId::Drain2,
+        BarrierId::Routes,
+        BarrierId::Flush,
+        BarrierId::Scan,
+    ];
+}
+
+/// A recovery-algorithm message. Every message carries the sender's
+/// incarnation number `inc`; receivers drop stale incarnations and adopt
+/// (restart into) newer ones, which implements the paper's
+/// restart-on-additional-failure semantics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RecMsg {
+    /// Drop the receiver into recovery and ask for a liveness reply.
+    Ping {
+        /// Sender's incarnation.
+        inc: u32,
+        /// Source route for the reply.
+        reply_route: Vec<RouterId>,
+    },
+    /// Liveness acknowledgment: the replier successfully started its
+    /// recovery code.
+    PingReply {
+        /// Replier's incarnation.
+        inc: u32,
+    },
+    /// One dissemination-round state exchange.
+    Exchange {
+        /// Sender's incarnation.
+        inc: u32,
+        /// The dissemination round this vector belongs to.
+        round: u32,
+        /// The sender's current view.
+        view: View,
+        /// The sender's round bound, once known (the BFT hint of §4.3).
+        hint: Option<u32>,
+        /// Source route back to the sender (lets receivers adopt previously
+        /// unknown cwn partners).
+        reply_route: Vec<RouterId>,
+    },
+    /// Barrier aggregation up the BFT.
+    BarUp {
+        /// Sender's incarnation.
+        inc: u32,
+        /// Which barrier.
+        id: BarrierId,
+        /// AND-aggregated vote (used by the drain agreement).
+        ok: bool,
+    },
+    /// Barrier release down the BFT.
+    BarDown {
+        /// Sender's incarnation.
+        inc: u32,
+        /// Which barrier.
+        id: BarrierId,
+        /// The aggregated outcome.
+        ok: bool,
+    },
+}
+
+impl RecMsg {
+    /// The incarnation this message belongs to.
+    pub fn inc(&self) -> u32 {
+        match self {
+            RecMsg::Ping { inc, .. }
+            | RecMsg::PingReply { inc }
+            | RecMsg::Exchange { inc, .. }
+            | RecMsg::BarUp { inc, .. }
+            | RecMsg::BarDown { inc, .. } => *inc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_accessor() {
+        assert_eq!(RecMsg::PingReply { inc: 3 }.inc(), 3);
+        assert_eq!(
+            RecMsg::Ping { inc: 7, reply_route: vec![] }.inc(),
+            7
+        );
+        assert_eq!(
+            RecMsg::BarUp { inc: 2, id: BarrierId::Flush, ok: true }.inc(),
+            2
+        );
+        assert_eq!(
+            RecMsg::BarDown { inc: 4, id: BarrierId::Scan, ok: false }.inc(),
+            4
+        );
+        let ex = RecMsg::Exchange {
+            inc: 9,
+            round: 1,
+            view: View::new(),
+            hint: None,
+            reply_route: vec![],
+        };
+        assert_eq!(ex.inc(), 9);
+    }
+
+    #[test]
+    fn barrier_order() {
+        let ids = BarrierId::ALL;
+        for w in ids.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

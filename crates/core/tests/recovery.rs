@@ -1,0 +1,99 @@
+//! End-to-end tests of the four-phase recovery algorithm on small machines.
+
+use flash_core::{run_fault_experiment, ExperimentConfig, FaultKind};
+use flash_machine::{FaultSpec, MachineParams};
+use flash_net::{NodeId, RouterId};
+
+fn tiny_cfg(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(MachineParams::tiny(), seed);
+    cfg.fill_ops = 150;
+    cfg.total_ops = 400;
+    cfg
+}
+
+#[test]
+fn node_failure_recovers_and_validates() {
+    let outcome = run_fault_experiment(&tiny_cfg(1), FaultSpec::Node(NodeId(2)));
+    assert!(outcome.finished, "machine quiesced");
+    assert!(outcome.recovery.completed(), "recovery ran: {:?}", outcome.recovery);
+    assert!(
+        outcome.validation.passed(),
+        "validation: {} overmarked={:?} corrupted={:?}",
+        outcome.validation,
+        &outcome.validation.overmarked[..outcome.validation.overmarked.len().min(5)],
+        &outcome.validation.corrupted[..outcome.validation.corrupted.len().min(5)],
+    );
+    assert_eq!(outcome.recovery.nodes_resumed, 3);
+    assert!(!outcome.recovery.machine_halted);
+}
+
+#[test]
+fn router_failure_recovers_and_validates() {
+    let outcome = run_fault_experiment(&tiny_cfg(2), FaultSpec::Router(RouterId(1)));
+    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+}
+
+#[test]
+fn link_failure_recovers_and_validates() {
+    let outcome = run_fault_experiment(&tiny_cfg(3), FaultSpec::Link(RouterId(0), RouterId(1)));
+    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    // No node died: everyone resumes.
+    assert_eq!(outcome.recovery.nodes_resumed, 4);
+}
+
+#[test]
+fn infinite_loop_recovers_and_validates() {
+    let outcome = run_fault_experiment(&tiny_cfg(4), FaultSpec::InfiniteLoop(NodeId(3)));
+    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    assert_eq!(outcome.recovery.nodes_resumed, 3);
+}
+
+#[test]
+fn false_alarm_causes_no_data_loss() {
+    let outcome = run_fault_experiment(&tiny_cfg(5), FaultSpec::FalseAlarm(NodeId(0)));
+    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    // The sole effect of a false alarm is a brief interruption: nothing is
+    // marked incoherent and all nodes resume.
+    assert_eq!(outcome.recovery.lines_marked_incoherent, 0);
+    assert_eq!(outcome.recovery.nodes_resumed, 4);
+    assert_eq!(outcome.validation.marked_incoherent, 0);
+}
+
+#[test]
+fn all_fault_kinds_on_table_5_1_machine() {
+    // One run of each fault type on the paper's 8-node configuration.
+    for (i, kind) in FaultKind::ALL.iter().enumerate() {
+        let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), 100 + i as u64);
+        cfg.fill_ops = 300;
+        cfg.total_ops = 800;
+        let fault = match kind {
+            FaultKind::Node => FaultSpec::Node(NodeId(5)),
+            FaultKind::Router => FaultSpec::Router(RouterId(6)),
+            FaultKind::Link => FaultSpec::Link(RouterId(1), RouterId(2)),
+            FaultKind::InfiniteLoop => FaultSpec::InfiniteLoop(NodeId(3)),
+            FaultKind::FalseAlarm => FaultSpec::FalseAlarm(NodeId(2)),
+        };
+        let outcome = run_fault_experiment(&cfg, fault);
+        assert!(
+            outcome.passed(),
+            "{kind:?}: finished={} recovery={:?} validation={}",
+            outcome.finished,
+            outcome.recovery,
+            outcome.validation
+        );
+    }
+}
+
+#[test]
+fn phase_times_are_ordered() {
+    let outcome = run_fault_experiment(&tiny_cfg(7), FaultSpec::Node(NodeId(1)));
+    let p = outcome.recovery.phases;
+    let (p1, p12, p13, total) = (
+        p.p1().unwrap(),
+        p.p1_2().unwrap(),
+        p.p1_3().unwrap(),
+        p.total().unwrap(),
+    );
+    assert!(p1 <= p12 && p12 <= p13 && p13 <= total);
+    assert!(total.as_millis_f64() > 0.0);
+}

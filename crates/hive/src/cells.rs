@@ -1,0 +1,143 @@
+//! Cell layout: partitioning the machine into failure units.
+//!
+//! Hive partitions the machine into *cells*, each a separate kernel managing
+//! a hardware failure unit. The unit boundaries are chosen so that all
+//! intra-cell coherence traffic stays within the unit's portion of the
+//! interconnect (paper, Section 3.3); with contiguous node ranges on a
+//! row-major mesh this holds for row-aligned cells, and trivially for
+//! one-node cells (the configuration of the paper's experiments).
+
+use flash_coherence::NodeSet;
+use flash_net::NodeId;
+
+/// A partition of the machine's nodes into cells (failure units).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellLayout {
+    cells: Vec<NodeSet>,
+    cell_of: Vec<u16>,
+}
+
+impl CellLayout {
+    /// Partitions `n_nodes` nodes into `n_cells` contiguous, equally sized
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n_cells` divides `n_nodes`.
+    pub fn contiguous(n_nodes: usize, n_cells: usize) -> Self {
+        assert!(n_cells > 0 && n_nodes.is_multiple_of(n_cells), "cells must divide nodes evenly");
+        let per = n_nodes / n_cells;
+        let mut cells = Vec::with_capacity(n_cells);
+        let mut cell_of = vec![0u16; n_nodes];
+        for c in 0..n_cells {
+            let mut set = NodeSet::new();
+            for (i, slot) in cell_of.iter_mut().enumerate().skip(c * per).take(per) {
+                set.insert(NodeId(i as u16));
+                *slot = c as u16;
+            }
+            cells.push(set);
+        }
+        CellLayout { cells, cell_of }
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.cell_of.len()
+    }
+
+    /// The cell index a node belongs to.
+    pub fn cell_of(&self, node: NodeId) -> usize {
+        self.cell_of[node.index()] as usize
+    }
+
+    /// The nodes of one cell.
+    pub fn members(&self, cell: usize) -> &NodeSet {
+        &self.cells[cell]
+    }
+
+    /// All cells as failure-unit sets (for the recovery algorithm).
+    pub fn units(&self) -> Vec<NodeSet> {
+        self.cells.clone()
+    }
+
+    /// The cells that lost at least one member to the given failed set.
+    pub fn failed_cells(&self, failed: &NodeSet) -> Vec<usize> {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, set)| set.intersects(failed))
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// The lowest-id node of a cell (its "boot" node, running the cell's
+    /// task or services).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell index is out of range.
+    pub fn boot_node(&self, cell: usize) -> NodeId {
+        self.cells[cell].first().expect("cells are nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_partition() {
+        let l = CellLayout::contiguous(8, 4);
+        assert_eq!(l.num_cells(), 4);
+        assert_eq!(l.num_nodes(), 8);
+        assert_eq!(l.cell_of(NodeId(0)), 0);
+        assert_eq!(l.cell_of(NodeId(1)), 0);
+        assert_eq!(l.cell_of(NodeId(2)), 1);
+        assert_eq!(l.cell_of(NodeId(7)), 3);
+        assert_eq!(l.members(1).len(), 2);
+        assert_eq!(l.boot_node(2), NodeId(4));
+    }
+
+    #[test]
+    fn one_node_cells() {
+        let l = CellLayout::contiguous(8, 8);
+        for i in 0..8u16 {
+            assert_eq!(l.cell_of(NodeId(i)), i as usize);
+            assert_eq!(l.boot_node(i as usize), NodeId(i));
+        }
+    }
+
+    #[test]
+    fn failed_cells_detection() {
+        let l = CellLayout::contiguous(8, 4);
+        let failed = NodeSet::singleton(NodeId(3));
+        assert_eq!(l.failed_cells(&failed), vec![1]);
+        let mut multi = NodeSet::singleton(NodeId(0));
+        multi.insert(NodeId(7));
+        assert_eq!(l.failed_cells(&multi), vec![0, 3]);
+        assert!(l.failed_cells(&NodeSet::new()).is_empty());
+    }
+
+    #[test]
+    fn units_cover_all_nodes_disjointly() {
+        let l = CellLayout::contiguous(12, 3);
+        let units = l.units();
+        let mut seen = NodeSet::new();
+        for u in &units {
+            assert!(!seen.intersects(u), "disjoint");
+            seen.union_with(u);
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly")]
+    fn uneven_partition_panics() {
+        let _ = CellLayout::contiguous(8, 3);
+    }
+}

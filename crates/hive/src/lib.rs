@@ -1,0 +1,54 @@
+//! # flash-hive — a Hive-like cell operating-system model
+//!
+//! The operating-system half of the fault-containment story (paper,
+//! Sections 3.3, 4.6 and 5): Hive partitions the machine into *cells*, each
+//! a kernel managing one hardware failure unit, and applies resource
+//! placement and protection policies so that most faults stay confined to
+//! the cells whose hardware failed.
+//!
+//! This crate models those policies on top of the `flash-*` substrate:
+//!
+//! * [`CellLayout`] — failure-unit partitioning;
+//! * [`os::configure`] — firewall ACLs (cell-private pages), I/O guards
+//!   (no cross-cell uncached I/O except the exported RPC mailbox), and
+//!   failure-unit registration with the recovery algorithm;
+//! * [`CompileTask`] / [`ServerLoop`] — the parallel-make workload of the
+//!   end-to-end experiments (one compile per cell, a file-server cell,
+//!   file data moved through shared memory, RPCs for open/close);
+//! * [`os::os_recover`] — the post-recovery OS pass: reinitializing pages
+//!   with incoherent lines via the MAGIC service and terminating tasks
+//!   with dependencies on failed cells;
+//! * [`run_parallel_make`] — the Table 5.4 / Figure 5.7 harness.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use flash_hive::{run_parallel_make, HiveConfig};
+//! use flash_core::RecoveryConfig;
+//! use flash_machine::{FaultSpec, MachineParams};
+//! use flash_net::NodeId;
+//!
+//! // 8 cells, one compile each; kill cell 3's node mid-run.
+//! let params = MachineParams::table_5_1();
+//! let out = run_parallel_make(
+//!     params,
+//!     &HiveConfig::default(),
+//!     RecoveryConfig::default(),
+//!     Some(FaultSpec::Node(NodeId(3))),
+//!     42,
+//! );
+//! assert!(out.unaffected_all_completed());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cells;
+mod experiment;
+pub mod os;
+mod task;
+
+pub use cells::CellLayout;
+pub use experiment::{run_parallel_make, CompileOutcome, EndToEndOutcome};
+pub use os::{HiveConfig, HivePlacement};
+pub use task::{CompileTask, ServerLoop, TaskState};

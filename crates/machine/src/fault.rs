@@ -1,0 +1,90 @@
+//! Fault injection: the experiment fault types of Table 5.2.
+
+use flash_net::{NodeId, RouterId};
+
+/// A fault to inject, mirroring Table 5.2 of the paper. Real hardware
+/// faults usually manifest as several simultaneous node/link failures;
+/// compose with [`FaultSpec::Multi`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// MAGIC fails but the router stays up; packets sent to the node
+    /// controller are discarded.
+    Node(NodeId),
+    /// The router fails: any packets sent to it are discarded. The attached
+    /// node is cut off and counts as failed.
+    Router(RouterId),
+    /// A link fails: packets that try to traverse it are dropped; a packet
+    /// caught mid-link is truncated.
+    Link(RouterId, RouterId),
+    /// A MAGIC handler enters an infinite loop: the controller stops
+    /// accepting packets and traffic backs up into the interconnect.
+    InfiniteLoop(NodeId),
+    /// A MAGIC firmware assertion fails: the fail-fast controller raises
+    /// the recovery trigger itself and then halts (Table 4.1, Section 4.2).
+    FirmwareAssertion(NodeId),
+    /// Recovery triggered by an exceptional overload condition in the
+    /// absence of any fault; must complete without data loss.
+    FalseAlarm(NodeId),
+    /// Several simultaneous faults (e.g. a cabinet power loss).
+    Multi(Vec<FaultSpec>),
+}
+
+impl FaultSpec {
+    /// The nodes this fault removes from service (ground truth for the
+    /// oracle); empty for link failures and false alarms.
+    pub fn doomed_nodes(&self) -> Vec<NodeId> {
+        match self {
+            FaultSpec::Node(n)
+            | FaultSpec::InfiniteLoop(n)
+            | FaultSpec::FirmwareAssertion(n) => vec![*n],
+            FaultSpec::Router(r) => vec![NodeId(r.0)],
+            FaultSpec::Link(..) | FaultSpec::FalseAlarm(_) => vec![],
+            FaultSpec::Multi(list) => list.iter().flat_map(|f| f.doomed_nodes()).collect(),
+        }
+    }
+
+    /// Whether this is the no-fault false-alarm case.
+    pub fn is_false_alarm(&self) -> bool {
+        match self {
+            FaultSpec::FalseAlarm(_) => true,
+            FaultSpec::Multi(list) => list.iter().all(|f| f.is_false_alarm()),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doomed_nodes_per_fault_type() {
+        assert_eq!(FaultSpec::Node(NodeId(3)).doomed_nodes(), vec![NodeId(3)]);
+        assert_eq!(
+            FaultSpec::FirmwareAssertion(NodeId(2)).doomed_nodes(),
+            vec![NodeId(2)]
+        );
+        assert_eq!(FaultSpec::InfiniteLoop(NodeId(1)).doomed_nodes(), vec![NodeId(1)]);
+        assert_eq!(FaultSpec::Router(RouterId(2)).doomed_nodes(), vec![NodeId(2)]);
+        assert!(FaultSpec::Link(RouterId(0), RouterId(1)).doomed_nodes().is_empty());
+        assert!(FaultSpec::FalseAlarm(NodeId(0)).doomed_nodes().is_empty());
+        let multi = FaultSpec::Multi(vec![
+            FaultSpec::Node(NodeId(1)),
+            FaultSpec::Link(RouterId(0), RouterId(1)),
+            FaultSpec::Router(RouterId(4)),
+        ]);
+        assert_eq!(multi.doomed_nodes(), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn false_alarm_detection() {
+        assert!(FaultSpec::FalseAlarm(NodeId(0)).is_false_alarm());
+        assert!(!FaultSpec::Node(NodeId(0)).is_false_alarm());
+        assert!(FaultSpec::Multi(vec![FaultSpec::FalseAlarm(NodeId(1))]).is_false_alarm());
+        assert!(!FaultSpec::Multi(vec![
+            FaultSpec::FalseAlarm(NodeId(1)),
+            FaultSpec::Node(NodeId(2))
+        ])
+        .is_false_alarm());
+    }
+}

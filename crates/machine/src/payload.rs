@@ -1,0 +1,119 @@
+//! Packet payloads: coherence, uncached I/O, and recovery traffic.
+
+use flash_coherence::CohMsg;
+
+/// An uncached (I/O) operation message. Uncached operations have
+/// exactly-once semantics: they are never retried by the hardware (paper,
+/// Sections 3.3 and 4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UncMsg {
+    /// Uncached read of an I/O device register on the destination node.
+    ReadReq {
+        /// Caller-chosen tag matching the reply to the request.
+        tag: u64,
+    },
+    /// Uncached write to an I/O device register.
+    WriteReq {
+        /// Matching tag.
+        tag: u64,
+        /// The written value.
+        value: u64,
+    },
+    /// Reply to [`UncMsg::ReadReq`].
+    ReadReply {
+        /// Matching tag.
+        tag: u64,
+        /// The device register's value.
+        value: u64,
+    },
+    /// Acknowledgment of [`UncMsg::WriteReq`].
+    WriteAck {
+        /// Matching tag.
+        tag: u64,
+    },
+    /// The access was refused: it arrived from outside the device's failure
+    /// unit ([`flash_magic::IoGuard`]); the requester takes a bus error.
+    IoDenied {
+        /// Matching tag.
+        tag: u64,
+    },
+}
+
+impl UncMsg {
+    /// Packet size in flits.
+    pub fn flits(&self) -> u32 {
+        1
+    }
+
+    /// The tag correlating request and reply.
+    pub fn tag(&self) -> u64 {
+        match *self {
+            UncMsg::ReadReq { tag }
+            | UncMsg::WriteReq { tag, .. }
+            | UncMsg::ReadReply { tag, .. }
+            | UncMsg::WriteAck { tag }
+            | UncMsg::IoDenied { tag } => tag,
+        }
+    }
+
+    /// Whether this is a reply (travels on the reply lane).
+    pub fn is_reply(&self) -> bool {
+        matches!(
+            self,
+            UncMsg::ReadReply { .. } | UncMsg::WriteAck { .. } | UncMsg::IoDenied { .. }
+        )
+    }
+}
+
+/// The payload of every packet in the machine, generic over the recovery
+/// message type `R` supplied by the recovery extension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload<R> {
+    /// Cache-coherence protocol traffic.
+    Coh(CohMsg),
+    /// Uncached I/O traffic.
+    Unc(UncMsg),
+    /// Recovery-algorithm traffic (dedicated virtual lanes, source-routed).
+    Rec(R),
+}
+
+impl<R> Payload<R> {
+    /// Convenience predicate.
+    pub fn is_recovery(&self) -> bool {
+        matches!(self, Payload::Rec(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_coherence::LineAddr;
+
+    #[test]
+    fn tags_correlate() {
+        assert_eq!(UncMsg::ReadReq { tag: 9 }.tag(), 9);
+        assert_eq!(UncMsg::ReadReply { tag: 9, value: 1 }.tag(), 9);
+        assert_eq!(UncMsg::WriteReq { tag: 3, value: 2 }.tag(), 3);
+        assert_eq!(UncMsg::WriteAck { tag: 3 }.tag(), 3);
+        assert_eq!(UncMsg::IoDenied { tag: 4 }.tag(), 4);
+    }
+
+    #[test]
+    fn reply_classification() {
+        assert!(!UncMsg::ReadReq { tag: 0 }.is_reply());
+        assert!(!UncMsg::WriteReq { tag: 0, value: 0 }.is_reply());
+        assert!(UncMsg::ReadReply { tag: 0, value: 0 }.is_reply());
+        assert!(UncMsg::WriteAck { tag: 0 }.is_reply());
+        assert!(UncMsg::IoDenied { tag: 0 }.is_reply());
+    }
+
+    #[test]
+    fn payload_recovery_predicate() {
+        let p: Payload<u8> = Payload::Rec(1);
+        assert!(p.is_recovery());
+        let p: Payload<u8> = Payload::Coh(CohMsg::Get { line: LineAddr(0) });
+        assert!(!p.is_recovery());
+        let p: Payload<u8> = Payload::Unc(UncMsg::ReadReq { tag: 0 });
+        assert!(!p.is_recovery());
+    }
+}

@@ -1,0 +1,358 @@
+//! The MAGIC node controller: dispatch, handler occupancy, failure
+//! detection and the recovery-mode plumbing.
+//!
+//! MAGIC contains a statically scheduled dual-issue protocol processor that
+//! executes *handlers* to service messages. We model it as a single-server
+//! queueing station: each message occupies the controller for a
+//! handler-specific number of nanoseconds ([`HandlerCosts`]). The
+//! fault-containment checks (node map, incoherent-line check, range check,
+//! remap, NAK counters, timeouts) are dedicated logic and add **zero**
+//! occupancy, matching the paper's design goal of unaffected normal-mode
+//! performance; only the firewall adds a small per-handler cost.
+
+use flash_coherence::LineAddr;
+use flash_sim::{SimDuration, SimTime};
+
+/// Per-handler occupancy costs in nanoseconds (MAGIC runs at 100 MHz; the
+/// remote-read handler is 24 dual-issue instructions, < 120 ns — paper,
+/// Section 3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HandlerCosts {
+    /// Home handler for a read request.
+    pub get_ns: u64,
+    /// Home handler for an exclusive request.
+    pub getx_ns: u64,
+    /// Extra cost of the firewall ACL check in write handlers, when enabled.
+    pub firewall_check_ns: u64,
+    /// Home handler for a writeback.
+    pub put_ns: u64,
+    /// Cache-side handler for an invalidation or recall.
+    pub inval_ns: u64,
+    /// Home handler for an invalidation acknowledgment.
+    pub inval_ack_ns: u64,
+    /// Cache-side handler for a data reply (fills the processor's cache).
+    pub data_ns: u64,
+    /// NAK / terminal-error handlers.
+    pub nak_ns: u64,
+    /// Uncached read/write service (I/O device access).
+    pub uncached_ns: u64,
+    /// Error handler dispatched on a truncated packet or node-map miss.
+    pub error_ns: u64,
+    /// Handler servicing a recovery-lane message (ping, state exchange...).
+    pub recovery_msg_ns: u64,
+    /// Per-line cost of the MAGIC directory-scan service used in recovery
+    /// phase 4 (calibrated to Figure 5.6's memory-size scaling).
+    pub dir_scan_per_line_ns: u64,
+    /// DRAM access folded into data-carrying handlers.
+    pub mem_access_ns: u64,
+}
+
+impl Default for HandlerCosts {
+    fn default() -> Self {
+        HandlerCosts {
+            get_ns: 120,
+            getx_ns: 120,
+            firewall_check_ns: 8,
+            put_ns: 100,
+            inval_ns: 60,
+            inval_ack_ns: 40,
+            data_ns: 60,
+            nak_ns: 40,
+            uncached_ns: 100,
+            error_ns: 100,
+            recovery_msg_ns: 100,
+            dir_scan_per_line_ns: 75,
+            mem_access_ns: 140,
+        }
+    }
+}
+
+/// Controller-level parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MagicParams {
+    /// Handler cost table.
+    pub costs: HandlerCosts,
+    /// Retries before a NAK counter overflows and triggers recovery.
+    pub nak_threshold: u32,
+    /// Memory-operation timeout: a request outstanding longer than this
+    /// triggers recovery.
+    pub mem_op_timeout_ns: u64,
+    /// Delay before a NAK'd request is retried.
+    pub nak_retry_ns: u64,
+    /// Whether the firewall is enabled (Table 6.1 ablation).
+    pub firewall_enabled: bool,
+}
+
+impl Default for MagicParams {
+    fn default() -> Self {
+        MagicParams {
+            costs: HandlerCosts::default(),
+            nak_threshold: 4096,
+            mem_op_timeout_ns: 100_000,
+            nak_retry_ns: 200,
+            firewall_enabled: true,
+        }
+    }
+}
+
+/// The operating mode of a node controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MagicMode {
+    /// Normal operation: full protocol processing.
+    Normal,
+    /// Interconnect-recovery drain mode: incoming coherence requests are
+    /// fielded (consumed) but generate no replies or invalidations (paper,
+    /// Section 4.4).
+    RecoveryDrain,
+    /// Coherence-recovery mode: flush writebacks are absorbed via the
+    /// recovery path; normal dispatch is suspended.
+    Recovery,
+    /// The controller is dead (node failure).
+    Dead,
+    /// Firmware spin: the controller stops accepting packets entirely (the
+    /// "infinite loop in MAGIC handler" fault of Table 5.2).
+    InfiniteLoop,
+}
+
+/// Why MAGIC raised a bus error to its processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BusError {
+    /// The referenced line's home node is marked failed in the node map.
+    DeadHome,
+    /// The line is marked incoherent after a fault.
+    Incoherent,
+    /// The firewall denied an exclusive fetch.
+    FirewallDenied,
+    /// A write violated the node-controller range limit.
+    RangeViolation,
+    /// An uncached I/O access arrived from outside the local failure unit.
+    ForeignUncachedIo,
+    /// An uncached read outstanding across a recovery could not be resolved
+    /// (neither its saved reply nor the device's failure unit survived).
+    UncachedUnresolved,
+}
+
+/// The events that trigger the hardware recovery algorithm (Table 4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// A memory operation timed out.
+    MemOpTimeout {
+        /// The line whose request timed out.
+        line: LineAddr,
+    },
+    /// A request was NAK'd more times than the hardware counter allows.
+    NakOverflow {
+        /// The spinning line.
+        line: LineAddr,
+    },
+    /// A MAGIC firmware assertion failed.
+    AssertionFailure,
+    /// A truncated interconnect packet was received.
+    TruncatedPacket,
+    /// A recovery ping arrived from a neighboring node (propagating the
+    /// trigger wave).
+    PingReceived,
+    /// Recovery was triggered externally without any fault (the
+    /// "false alarm" experiment of Table 5.2).
+    FalseAlarm,
+}
+
+/// The hardware NAK counter in the processor interface: counts unsuccessful
+/// retries of the current outstanding memory operation; overflow indicates
+/// a coherence-protocol deadlock caused by a failure (paper, Section 4.2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NakCounter {
+    count: u32,
+}
+
+impl NakCounter {
+    /// Resets the counter (called when a new operation is issued or the
+    /// current one completes).
+    pub fn reset(&mut self) {
+        self.count = 0;
+    }
+
+    /// Records one NAK'd retry; returns `true` on overflow.
+    pub fn record_nak(&mut self, threshold: u32) -> bool {
+        self.count += 1;
+        self.count >= threshold
+    }
+
+    /// Current retry count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+}
+
+/// Tracks the single outstanding cacheable operation of a blocking
+/// processor, for timeout detection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutstandingOp {
+    inner: Option<OpInfo>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct OpInfo {
+    line: LineAddr,
+    write: bool,
+    issued_at: SimTime,
+    deadline: SimTime,
+    epoch: u64,
+}
+
+impl OutstandingOp {
+    /// Records a newly issued operation, returning its timeout deadline and
+    /// an epoch tag distinguishing it from reissues of the same line.
+    pub fn issue(&mut self, line: LineAddr, write: bool, now: SimTime, timeout_ns: u64) -> (SimTime, u64) {
+        let epoch = self.inner.map(|o| o.epoch + 1).unwrap_or(0);
+        let deadline = now + SimDuration::from_nanos(timeout_ns);
+        self.inner = Some(OpInfo { line, write, issued_at: now, deadline, epoch });
+        (deadline, epoch)
+    }
+
+    /// Completes (or aborts) the outstanding operation.
+    pub fn complete(&mut self) {
+        if let Some(o) = self.inner {
+            // Keep the epoch so stale timeout events can be recognized.
+            self.inner = Some(OpInfo { deadline: SimTime::MAX, ..o });
+        }
+    }
+
+    /// Fully clears the tracker (recovery reissue path).
+    pub fn clear(&mut self) {
+        self.inner = None;
+    }
+
+    /// Whether the operation with tag `epoch` is still outstanding past its
+    /// deadline at time `now` — the timeout-trigger test.
+    pub fn timed_out(&self, epoch: u64, now: SimTime) -> Option<LineAddr> {
+        let o = self.inner?;
+        (o.epoch == epoch && now >= o.deadline).then_some(o.line)
+    }
+
+    /// The line of the outstanding operation, if any is pending.
+    pub fn pending_line(&self) -> Option<(LineAddr, bool)> {
+        let o = self.inner?;
+        (o.deadline != SimTime::MAX).then_some((o.line, o.write))
+    }
+}
+
+/// The single-server occupancy model of the protocol processor.
+///
+/// # Examples
+///
+/// ```
+/// use flash_magic::Occupancy;
+/// use flash_sim::{SimTime, SimDuration};
+///
+/// let mut occ = Occupancy::new();
+/// let t0 = SimTime::from_nanos(100);
+/// assert!(occ.idle_at(t0));
+/// let done = occ.occupy(t0, SimDuration::from_nanos(120));
+/// assert_eq!(done, SimTime::from_nanos(220));
+/// assert!(!occ.idle_at(SimTime::from_nanos(150)));
+/// assert!(occ.idle_at(done));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Occupancy {
+    busy_until: SimTime,
+}
+
+impl Occupancy {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Occupancy::default()
+    }
+
+    /// Whether the controller is idle at `now`.
+    pub fn idle_at(&self, now: SimTime) -> bool {
+        now >= self.busy_until
+    }
+
+    /// Occupies the controller for `cost` starting at `max(now, busy_until)`
+    /// and returns the completion time.
+    pub fn occupy(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let start = if now > self.busy_until { now } else { self.busy_until };
+        self.busy_until = start + cost;
+        self.busy_until
+    }
+
+    /// The time the controller becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nak_counter_overflows_at_threshold() {
+        let mut c = NakCounter::default();
+        for _ in 0..9 {
+            assert!(!c.record_nak(10));
+        }
+        assert!(c.record_nak(10));
+        assert_eq!(c.count(), 10);
+        c.reset();
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn outstanding_op_times_out_only_if_still_pending() {
+        let mut op = OutstandingOp::default();
+        let t0 = SimTime::from_nanos(1_000);
+        let (deadline, epoch) = op.issue(LineAddr(5), false, t0, 500);
+        assert_eq!(deadline, SimTime::from_nanos(1_500));
+        assert_eq!(op.pending_line(), Some((LineAddr(5), false)));
+        // Not yet expired.
+        assert_eq!(op.timed_out(epoch, SimTime::from_nanos(1_400)), None);
+        // Expired and still pending: trigger.
+        assert_eq!(op.timed_out(epoch, deadline), Some(LineAddr(5)));
+        // Completed: stale timeout events are ignored.
+        op.complete();
+        assert_eq!(op.timed_out(epoch, SimTime::from_nanos(2_000)), None);
+        assert_eq!(op.pending_line(), None);
+    }
+
+    #[test]
+    fn reissued_op_gets_new_epoch() {
+        let mut op = OutstandingOp::default();
+        let (_, e0) = op.issue(LineAddr(1), true, SimTime::ZERO, 100);
+        op.complete();
+        let (_, e1) = op.issue(LineAddr(2), false, SimTime::from_nanos(50), 100);
+        assert_ne!(e0, e1);
+        // Old epoch's timeout no longer fires.
+        assert_eq!(op.timed_out(e0, SimTime::from_nanos(10_000)), None);
+        assert_eq!(op.timed_out(e1, SimTime::from_nanos(10_000)), Some(LineAddr(2)));
+    }
+
+    #[test]
+    fn occupancy_serializes_handlers() {
+        let mut occ = Occupancy::new();
+        let d1 = occ.occupy(SimTime::from_nanos(0), SimDuration::from_nanos(120));
+        let d2 = occ.occupy(SimTime::from_nanos(50), SimDuration::from_nanos(100));
+        assert_eq!(d1, SimTime::from_nanos(120));
+        assert_eq!(d2, SimTime::from_nanos(220), "second handler queues behind first");
+        // After going idle, the next handler starts at its arrival time.
+        let d3 = occ.occupy(SimTime::from_nanos(500), SimDuration::from_nanos(10));
+        assert_eq!(d3, SimTime::from_nanos(510));
+    }
+
+    #[test]
+    fn default_costs_match_paper_scale() {
+        let c = HandlerCosts::default();
+        assert!(c.get_ns <= 120, "remote read handler under 120ns (Section 3.1)");
+        // Firewall adds less than 7% of an inter-node write miss (~1us).
+        assert!(c.firewall_check_ns * 100 < 7 * 1_000);
+    }
+
+    #[test]
+    fn params_defaults() {
+        let p = MagicParams::default();
+        assert!(p.firewall_enabled);
+        assert!(p.nak_threshold >= 1024);
+        assert!(p.mem_op_timeout_ns >= 10_000);
+    }
+}

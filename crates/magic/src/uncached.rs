@@ -1,0 +1,169 @@
+//! Exactly-once handling of uncached operations across recovery.
+//!
+//! Uncached reads and writes (I/O device accesses) are nonidempotent: they
+//! must not be retried. When recovery initiation must unstall the processor,
+//! a pending uncached read is NAK'd, but MAGIC allocates an internal buffer
+//! to save the result when it (possibly) arrives from the network; before
+//! resuming normal operation the recovery code emulates the read instruction
+//! from the saved value and advances the program counter past it (paper,
+//! Section 4.2).
+
+use std::collections::HashMap;
+
+/// State of one saved uncached read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SavedRead {
+    /// The reply has not arrived (and never will if the device's failure
+    /// unit went down entirely — in that case the whole cell is lost with
+    /// it, per Section 3.3).
+    Pending,
+    /// The reply arrived and was captured.
+    Arrived(u64),
+}
+
+/// The uncached-operation unit of a node controller.
+///
+/// # Examples
+///
+/// ```
+/// use flash_magic::{UncachedUnit, SavedRead};
+///
+/// let mut u = UncachedUnit::new();
+/// u.begin_read(7);
+/// // Recovery initiates while the read is outstanding:
+/// assert_eq!(u.on_recovery_initiation(), Some(7));
+/// // The reply arrives late, during recovery:
+/// assert!(u.deliver_late(7, 0xAB));
+/// assert_eq!(u.take_saved(7), Some(SavedRead::Arrived(0xAB)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UncachedUnit {
+    /// Tag of the uncached read currently outstanding, if any.
+    pending_read: Option<u64>,
+    /// Reads saved across a recovery initiation.
+    saved: HashMap<u64, SavedRead>,
+}
+
+impl UncachedUnit {
+    /// Creates an idle unit.
+    pub fn new() -> Self {
+        UncachedUnit::default()
+    }
+
+    /// Records that an uncached read with `tag` was issued.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another uncached read is already outstanding (the blocking
+    /// processor model issues at most one).
+    pub fn begin_read(&mut self, tag: u64) {
+        assert!(self.pending_read.is_none(), "uncached read already outstanding");
+        self.pending_read = Some(tag);
+    }
+
+    /// Completes the outstanding read normally (reply arrived in normal
+    /// operation). Returns whether the tag matched.
+    pub fn complete_read(&mut self, tag: u64) -> bool {
+        if self.pending_read == Some(tag) {
+            self.pending_read = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether an uncached read is outstanding.
+    pub fn has_pending_read(&self) -> bool {
+        self.pending_read.is_some()
+    }
+
+    /// Called when recovery initiation unstalls the processor: the pending
+    /// read (if any) is terminated toward the processor but a save buffer is
+    /// allocated for its result. Returns the saved tag.
+    pub fn on_recovery_initiation(&mut self) -> Option<u64> {
+        let tag = self.pending_read.take()?;
+        self.saved.insert(tag, SavedRead::Pending);
+        Some(tag)
+    }
+
+    /// Delivers a late uncached-read reply into the save buffer. Returns
+    /// `false` if no buffer was allocated for the tag (normal-path reply).
+    pub fn deliver_late(&mut self, tag: u64, value: u64) -> bool {
+        match self.saved.get_mut(&tag) {
+            Some(slot) => {
+                *slot = SavedRead::Arrived(value);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes and returns the save-buffer state for `tag`, used when the
+    /// recovery code emulates the read before resuming the processor.
+    pub fn take_saved(&mut self, tag: u64) -> Option<SavedRead> {
+        self.saved.remove(&tag)
+    }
+
+    /// Number of allocated save buffers.
+    pub fn saved_count(&self) -> usize {
+        self.saved.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_read_lifecycle() {
+        let mut u = UncachedUnit::new();
+        assert!(!u.has_pending_read());
+        u.begin_read(1);
+        assert!(u.has_pending_read());
+        assert!(u.complete_read(1));
+        assert!(!u.has_pending_read());
+        assert!(!u.complete_read(1), "double completion rejected");
+    }
+
+    #[test]
+    fn recovery_saves_pending_read() {
+        let mut u = UncachedUnit::new();
+        u.begin_read(42);
+        assert_eq!(u.on_recovery_initiation(), Some(42));
+        assert!(!u.has_pending_read());
+        assert_eq!(u.saved_count(), 1);
+        // The reply never arrives: emulation sees Pending.
+        assert_eq!(u.take_saved(42), Some(SavedRead::Pending));
+        assert_eq!(u.saved_count(), 0);
+    }
+
+    #[test]
+    fn late_reply_is_captured() {
+        let mut u = UncachedUnit::new();
+        u.begin_read(9);
+        u.on_recovery_initiation();
+        assert!(u.deliver_late(9, 123));
+        assert_eq!(u.take_saved(9), Some(SavedRead::Arrived(123)));
+    }
+
+    #[test]
+    fn late_reply_without_buffer_is_flagged() {
+        let mut u = UncachedUnit::new();
+        assert!(!u.deliver_late(5, 1));
+    }
+
+    #[test]
+    fn no_pending_read_saves_nothing() {
+        let mut u = UncachedUnit::new();
+        assert_eq!(u.on_recovery_initiation(), None);
+        assert_eq!(u.saved_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already outstanding")]
+    fn double_begin_panics() {
+        let mut u = UncachedUnit::new();
+        u.begin_read(1);
+        u.begin_read(2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Packets and routing modes.
+
+use crate::ids::{Lane, NodeId, PacketId, RouterId};
+
+/// Maximum number of hops a source-routed packet may specify, mirroring the
+/// CrayLink limit that forces the initial recovery phases to use only local
+/// communication (paper, Section 4.1).
+pub const MAX_SOURCE_HOPS: usize = 16;
+
+/// How a packet is steered through the interconnect.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Route {
+    /// Follow the routing tables programmed into each router.
+    Table,
+    /// Source routing: the sender specifies the exact sequence of routers to
+    /// traverse, allowing recovery traffic to detour around failed regions
+    /// before the tables have been reprogrammed. `consumed` counts hops
+    /// already taken.
+    Source {
+        /// Routers to traverse, in order; the packet is delivered to the
+        /// node attached to the last router.
+        hops: Vec<RouterId>,
+        /// Number of hops already consumed.
+        consumed: usize,
+    },
+}
+
+/// A packet traversing the interconnect, generic over its payload.
+///
+/// `flits` is the packet's size in 16-byte flow-control units, including one
+/// header flit; a cache-line-carrying coherence packet is 9 flits (1 header
+/// + 128 B data).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Unique id assigned at injection.
+    pub id: PacketId,
+    /// Sending node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Virtual lane.
+    pub lane: Lane,
+    /// Size in flits (header included).
+    pub flits: u32,
+    /// Steering mode.
+    pub route: Route,
+    /// Set when a link failure severed the packet mid-transit; the header
+    /// survived but the data flits are lost (delivered with "parity error
+    /// bits set" in FLASH terms).
+    pub truncated: bool,
+    /// The payload carried (opaque to the interconnect).
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates a table-routed packet. The id is assigned by the fabric at
+    /// injection; callers pass `PacketId::default()`.
+    pub fn table_routed(src: NodeId, dst: NodeId, lane: Lane, flits: u32, payload: P) -> Self {
+        Packet {
+            id: PacketId::default(),
+            src,
+            dst,
+            lane,
+            flits: flits.max(1),
+            route: Route::Table,
+            truncated: false,
+            payload,
+        }
+    }
+
+    /// Creates a source-routed packet delivered to the node attached to the
+    /// last router in `hops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty or longer than [`MAX_SOURCE_HOPS`].
+    pub fn source_routed(
+        src: NodeId,
+        dst: NodeId,
+        hops: Vec<RouterId>,
+        lane: Lane,
+        flits: u32,
+        payload: P,
+    ) -> Self {
+        assert!(!hops.is_empty(), "source route needs at least one hop");
+        assert!(hops.len() <= MAX_SOURCE_HOPS, "source route too long");
+        Packet {
+            id: PacketId::default(),
+            src,
+            dst,
+            lane,
+            flits: flits.max(1),
+            route: Route::Source { hops, consumed: 0 },
+            truncated: false,
+            payload,
+        }
+    }
+
+    /// Whether this packet uses source routing.
+    pub fn is_source_routed(&self) -> bool {
+        matches!(self.route, Route::Source { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_packet_has_min_one_flit() {
+        let p = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 0, ());
+        assert_eq!(p.flits, 1);
+        assert!(!p.is_source_routed());
+        assert!(!p.truncated);
+    }
+
+    #[test]
+    fn source_packet_tracks_hops() {
+        let p = Packet::source_routed(
+            NodeId(0),
+            NodeId(2),
+            vec![RouterId(1), RouterId(2)],
+            Lane::Recovery0,
+            1,
+            (),
+        );
+        assert!(p.is_source_routed());
+        match &p.route {
+            Route::Source { hops, consumed } => {
+                assert_eq!(hops.len(), 2);
+                assert_eq!(*consumed, 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "source route too long")]
+    fn source_route_length_is_bounded() {
+        let hops = vec![RouterId(0); MAX_SOURCE_HOPS + 1];
+        let _ = Packet::source_routed(NodeId(0), NodeId(0), hops, Lane::Recovery0, 1, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn source_route_must_be_nonempty() {
+        let _ = Packet::source_routed(NodeId(0), NodeId(0), vec![], Lane::Recovery0, 1, ());
+    }
+}

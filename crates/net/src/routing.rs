@@ -1,0 +1,421 @@
+//! Routing tables and post-fault route recomputation.
+//!
+//! During normal operation the routers use the deadlock-free tables produced
+//! by [`Topology::initial_tables`](crate::Topology::initial_tables). After a
+//! fault, the interconnect-recovery phase computes new tables over the
+//! surviving routers and links. The paper uses a turn-model approach and
+//! notes that a fully general deadlock-free rerouting is an open problem; we
+//! substitute **up*/down*** routing, a standard method that is deadlock-free
+//! by construction on any connected survivor graph (see DESIGN.md).
+
+use crate::graph::UGraph;
+use crate::ids::RouterId;
+
+/// One routing-table entry: what a router does with a packet for a given
+/// destination router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Hop {
+    /// Deliver to the locally attached node.
+    Local,
+    /// Forward to this neighboring router.
+    Toward(RouterId),
+    /// Drop the packet (used to isolate failed regions).
+    Discard,
+    /// No route known; treated as a drop and counted separately.
+    Unreachable,
+}
+
+/// Per-router routing tables: a dense `routers x routers` matrix of [`Hop`]s.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::{Mesh2D, Topology, Hop, RouterId};
+///
+/// let tables = Mesh2D::new(2, 2).initial_tables();
+/// assert_eq!(tables.hop(RouterId(0), RouterId(0)), Hop::Local);
+/// assert!(matches!(tables.hop(RouterId(0), RouterId(3)), Hop::Toward(_)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutingTables {
+    n: usize,
+    entries: Vec<Hop>,
+}
+
+impl RoutingTables {
+    /// Creates tables for `n` routers with every entry `Unreachable`.
+    pub fn unreachable(n: usize) -> Self {
+        RoutingTables {
+            n,
+            entries: vec![Hop::Unreachable; n * n],
+        }
+    }
+
+    /// Number of routers covered.
+    pub fn num_routers(&self) -> usize {
+        self.n
+    }
+
+    /// Reads the entry for packets at `at` destined to `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn hop(&self, at: RouterId, dest: RouterId) -> Hop {
+        self.entries[at.index() * self.n + dest.index()]
+    }
+
+    /// Writes the entry for packets at `at` destined to `dest`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn set(&mut self, at: RouterId, dest: RouterId, hop: Hop) {
+        self.entries[at.index() * self.n + dest.index()] = hop;
+    }
+
+    /// Marks every entry pointing `at` router toward `dead` (as destination)
+    /// as `Discard`, on all routers. Used when isolating failed regions.
+    pub fn discard_destination(&mut self, dead: RouterId) {
+        for r in 0..self.n {
+            self.entries[r * self.n + dead.index()] = Hop::Discard;
+        }
+    }
+
+    /// Walks the tables from `s` to `d`, returning the hop count, or `None`
+    /// if the walk drops, dead-ends, or exceeds `2 * n` hops (loop).
+    pub fn route_length(&self, s: RouterId, d: RouterId) -> Option<u32> {
+        let mut at = s;
+        let mut hops = 0;
+        loop {
+            match self.hop(at, d) {
+                Hop::Local => return if at == d { Some(hops) } else { None },
+                Hop::Toward(next) => {
+                    at = next;
+                    hops += 1;
+                    if hops > 2 * self.n as u32 {
+                        return None;
+                    }
+                }
+                Hop::Discard | Hop::Unreachable => return None,
+            }
+        }
+    }
+}
+
+/// Computes up*/down* routing tables over the survivor graph.
+///
+/// `graph` must contain exactly the *live* links (edges between live
+/// routers); `alive` marks live routers; `root` is the root of the
+/// up*/down* orientation and must be live. Entries for dead or unreachable
+/// destinations are set to [`Hop::Discard`] so traffic toward failed regions
+/// is dropped at the first router rather than congesting the network.
+///
+/// The resulting routing relation is deadlock-free: every path consists of
+/// zero or more "up" moves (toward the root in `(BFS level, id)` order)
+/// followed by zero or more "down" moves, so the channel-dependency graph is
+/// acyclic (verified by [`channel_dependencies_acyclic`] in the test suite).
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or dead.
+pub fn up_down_tables(graph: &UGraph, alive: &[bool], root: RouterId) -> RoutingTables {
+    let n = graph.len();
+    assert!(alive[root.index()], "up*/down* root must be alive");
+    let level = graph.bfs_distances(root.0, alive);
+    // Total order used for edge orientation: (level, id), smaller is "upper".
+    let key = |v: u16| (level[v as usize], v);
+
+    let mut tables = RoutingTables::unreachable(n);
+
+    // Order of processing for the up-phase DP: increasing key, so that all
+    // up-neighbors (smaller key) of a router are finished first.
+    let mut order: Vec<u16> = (0..n as u16)
+        .filter(|&v| alive[v as usize] && level[v as usize] != u32::MAX)
+        .collect();
+    order.sort_by_key(|&v| key(v));
+
+    for &d in &order {
+        // Distances to d along strictly key-descending (reverse-down) moves:
+        // dist_down[u] = length of an all-down path u -> d.
+        let mut dist_down = vec![u32::MAX; n];
+        dist_down[d as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(d);
+        while let Some(v) = queue.pop_front() {
+            for &u in graph.neighbors(v) {
+                if alive[u as usize]
+                    && level[u as usize] != u32::MAX
+                    && key(u) < key(v)
+                    && dist_down[u as usize] == u32::MAX
+                {
+                    dist_down[u as usize] = dist_down[v as usize] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+
+        // cost[u]: length of the table route u -> d; fill next hops.
+        let mut cost = vec![u32::MAX; n];
+        for &u in &order {
+            if u == d {
+                cost[u as usize] = 0;
+                tables.set(RouterId(u), RouterId(d), Hop::Local);
+                continue;
+            }
+            if dist_down[u as usize] != u32::MAX {
+                // Commit to an all-down continuation: pick the down-neighbor
+                // one step closer to d (smallest id tie-break).
+                let next = graph
+                    .neighbors(u)
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        alive[v as usize]
+                            && key(v) > key(u)
+                            && dist_down[v as usize] == dist_down[u as usize] - 1
+                    })
+                    .min()
+                    .expect("down path must have a next hop");
+                cost[u as usize] = dist_down[u as usize];
+                tables.set(RouterId(u), RouterId(d), Hop::Toward(RouterId(next)));
+            } else {
+                // Go up first: pick the up-neighbor with the cheapest
+                // already-computed route (up-neighbors precede u in `order`).
+                let mut best: Option<(u32, u16)> = None;
+                for &v in graph.neighbors(u) {
+                    if alive[v as usize] && key(v) < key(u) && cost[v as usize] != u32::MAX {
+                        let c = cost[v as usize] + 1;
+                        if best.is_none_or(|(bc, bv)| (c, v) < (bc, bv)) {
+                            best = Some((c, v));
+                        }
+                    }
+                }
+                if let Some((c, v)) = best {
+                    cost[u as usize] = c;
+                    tables.set(RouterId(u), RouterId(d), Hop::Toward(RouterId(v)));
+                }
+                // else: u is disconnected from d; stays Unreachable, fixed
+                // to Discard below.
+            }
+        }
+    }
+
+    // Dead or unreachable destinations: discard at every router.
+    for dst in 0..n as u16 {
+        let dead_dst = !alive[dst as usize] || level[dst as usize] == u32::MAX;
+        for r in 0..n as u16 {
+            if dead_dst || !alive[r as usize] || level[r as usize] == u32::MAX {
+                if tables.hop(RouterId(r), RouterId(dst)) == Hop::Unreachable || dead_dst {
+                    tables.set(RouterId(r), RouterId(dst), Hop::Discard);
+                }
+            } else if tables.hop(RouterId(r), RouterId(dst)) == Hop::Unreachable {
+                // Live router, live dest, but different components.
+                tables.set(RouterId(r), RouterId(dst), Hop::Discard);
+            }
+        }
+    }
+
+    tables
+}
+
+/// Checks that the channel-dependency graph induced by `tables` over the
+/// live links in `graph` is acyclic — the classical criterion for
+/// deadlock-free table routing. Used by tests and the property suite.
+pub fn channel_dependencies_acyclic(tables: &RoutingTables, graph: &UGraph, alive: &[bool]) -> bool {
+    let n = graph.len();
+    // Channel = directed pair (u, v) over an edge; index channels densely.
+    let mut chan_index = std::collections::HashMap::new();
+    let mut chans = Vec::new();
+    for u in 0..n as u16 {
+        for &v in graph.neighbors(u) {
+            if alive[u as usize] && alive[v as usize] {
+                chan_index.insert((u, v), chans.len());
+                chans.push((u, v));
+            }
+        }
+    }
+    // Dependency (u->v) => (v->w) if some destination routes u->v then v->w.
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); chans.len()];
+    for d in 0..n as u16 {
+        for u in 0..n as u16 {
+            if !alive[u as usize] {
+                continue;
+            }
+            if let Hop::Toward(v) = tables.hop(RouterId(u), RouterId(d)) {
+                if let Hop::Toward(w) = tables.hop(v, RouterId(d)) {
+                    let (Some(&c1), Some(&c2)) =
+                        (chan_index.get(&(u, v.0)), chan_index.get(&(v.0, w.0)))
+                    else {
+                        continue;
+                    };
+                    deps[c1].push(c2);
+                }
+            }
+        }
+    }
+    // DFS cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Gray,
+        Black,
+    }
+    let mut mark = vec![Mark::White; chans.len()];
+    let mut stack = Vec::new();
+    for start in 0..chans.len() {
+        if mark[start] != Mark::White {
+            continue;
+        }
+        stack.push((start, 0usize));
+        mark[start] = Mark::Gray;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < deps[v].len() {
+                let next = deps[v][*i];
+                *i += 1;
+                match mark[next] {
+                    Mark::White => {
+                        mark[next] = Mark::Gray;
+                        stack.push((next, 0));
+                    }
+                    Mark::Gray => return false,
+                    Mark::Black => {}
+                }
+            } else {
+                mark[v] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{Hypercube, Mesh2D, Topology};
+
+    fn graph_of(topo: &impl Topology) -> UGraph {
+        UGraph::from_edges(
+            topo.num_routers(),
+            topo.links().iter().map(|l| (l.a.0, l.b.0)),
+        )
+    }
+
+    #[test]
+    fn up_down_routes_connect_all_survivors() {
+        let mesh = Mesh2D::new(4, 4);
+        let g = graph_of(&mesh);
+        let mut alive = vec![true; 16];
+        // Kill a 2x2 block in the middle.
+        for r in [5usize, 6, 9, 10] {
+            alive[r] = false;
+        }
+        let root = RouterId(0);
+        let tables = up_down_tables(&g_alive(&g, &alive), &alive, root);
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if alive[s as usize] && alive[d as usize] {
+                    assert!(
+                        tables.route_length(RouterId(s), RouterId(d)).is_some(),
+                        "no route {s}->{d}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Restricts a graph to live vertices (removes edges touching dead ones).
+    fn g_alive(g: &UGraph, alive: &[bool]) -> UGraph {
+        let mut out = UGraph::new(g.len());
+        for u in 0..g.len() as u16 {
+            for &v in g.neighbors(u) {
+                if alive[u as usize] && alive[v as usize] {
+                    out.add_edge(u, v);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn up_down_is_deadlock_free_on_healthy_mesh() {
+        let mesh = Mesh2D::new(4, 4);
+        let g = graph_of(&mesh);
+        let alive = vec![true; 16];
+        let tables = up_down_tables(&g, &alive, RouterId(0));
+        assert!(channel_dependencies_acyclic(&tables, &g, &alive));
+    }
+
+    #[test]
+    fn up_down_is_deadlock_free_after_failures() {
+        let mesh = Mesh2D::new(4, 4);
+        let g = graph_of(&mesh);
+        let mut alive = vec![true; 16];
+        for r in [1usize, 7, 12] {
+            alive[r] = false;
+        }
+        let live = g_alive(&g, &alive);
+        let tables = up_down_tables(&live, &alive, RouterId(0));
+        assert!(channel_dependencies_acyclic(&tables, &live, &alive));
+        // Survivors still mutually reachable (this failure set keeps the
+        // mesh connected).
+        for s in 0..16u16 {
+            for d in 0..16u16 {
+                if alive[s as usize] && alive[d as usize] {
+                    assert!(tables.route_length(RouterId(s), RouterId(d)).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_destinations_are_discarded() {
+        let mesh = Mesh2D::new(2, 2);
+        let g = graph_of(&mesh);
+        let mut alive = vec![true; 4];
+        alive[3] = false;
+        let live = g_alive(&g, &alive);
+        let tables = up_down_tables(&live, &alive, RouterId(0));
+        for r in 0..3u16 {
+            assert_eq!(tables.hop(RouterId(r), RouterId(3)), Hop::Discard);
+        }
+    }
+
+    #[test]
+    fn dimension_order_mesh_is_deadlock_free() {
+        let mesh = Mesh2D::new(4, 3);
+        let g = graph_of(&mesh);
+        let alive = vec![true; 12];
+        let tables = mesh.initial_tables();
+        assert!(channel_dependencies_acyclic(&tables, &g, &alive));
+    }
+
+    #[test]
+    fn ecube_hypercube_is_deadlock_free() {
+        let cube = Hypercube::new(4);
+        let g = graph_of(&cube);
+        let alive = vec![true; 16];
+        let tables = cube.initial_tables();
+        assert!(channel_dependencies_acyclic(&tables, &g, &alive));
+    }
+
+    #[test]
+    fn route_length_detects_drops() {
+        let mut tables = RoutingTables::unreachable(2);
+        tables.set(RouterId(0), RouterId(1), Hop::Discard);
+        assert_eq!(tables.route_length(RouterId(0), RouterId(1)), None);
+        tables.set(RouterId(0), RouterId(0), Hop::Local);
+        assert_eq!(tables.route_length(RouterId(0), RouterId(0)), Some(0));
+    }
+
+    #[test]
+    fn discard_destination_blankets_all_routers() {
+        let mesh = Mesh2D::new(2, 2);
+        let mut tables = mesh.initial_tables();
+        tables.discard_destination(RouterId(2));
+        for r in 0..4u16 {
+            assert_eq!(tables.hop(RouterId(r), RouterId(2)), Hop::Discard);
+        }
+    }
+}

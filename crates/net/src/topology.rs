@@ -1,0 +1,369 @@
+//! Interconnect topologies.
+//!
+//! The paper simulates a two-dimensional mesh ([`Mesh2D`]) for simplicity and
+//! notes that real FLASH machines use a hierarchical fat hypercube with a
+//! smaller diameter. We provide a [`Hypercube`] topology to reproduce the
+//! dissemination-phase scaling comparison of Figure 5.5 (the recovery
+//! algorithm is topology-independent).
+
+use crate::ids::{NodeId, RouterId};
+use crate::routing::{Hop, RoutingTables};
+
+/// A bidirectional router-to-router link in a topology description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: RouterId,
+    /// The other endpoint.
+    pub b: RouterId,
+}
+
+/// A static interconnect topology: routers, node attachment, links, and a
+/// deadlock-free initial routing function.
+///
+/// All topologies in this crate attach exactly one node per router (node `i`
+/// on router `i`), matching FLASH where each node contains its own network
+/// interface.
+pub trait Topology {
+    /// Number of compute nodes (== number of routers here).
+    fn num_nodes(&self) -> usize;
+
+    /// Number of routers.
+    fn num_routers(&self) -> usize {
+        self.num_nodes()
+    }
+
+    /// The router a node attaches to.
+    fn router_of(&self, node: NodeId) -> RouterId {
+        RouterId(node.0)
+    }
+
+    /// The node attached to a router.
+    fn node_of(&self, router: RouterId) -> NodeId {
+        NodeId(router.0)
+    }
+
+    /// All router-to-router links.
+    fn links(&self) -> Vec<LinkSpec>;
+
+    /// Computes the deadlock-free routing tables used during normal
+    /// operation (dimension-order routing for the provided topologies).
+    fn initial_tables(&self) -> RoutingTables;
+
+    /// A short human-readable topology name (e.g. `"mesh2d"`).
+    fn name(&self) -> &'static str;
+}
+
+/// A `width x height` two-dimensional mesh, as simulated in the paper's
+/// experiments. Router `r` sits at `(r % width, r / width)`.
+///
+/// Initial routing is dimension-order (X first, then Y), which is
+/// deadlock-free on a mesh.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::{Mesh2D, Topology};
+///
+/// let mesh = Mesh2D::new(4, 2);
+/// assert_eq!(mesh.num_nodes(), 8);
+/// assert_eq!(mesh.links().len(), 4 + 6); // vertical + horizontal links
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesh2D {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh2D {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or the node count exceeds `u16`
+    /// range.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "mesh dimensions must be nonzero");
+        assert!(width * height <= u16::MAX as usize, "too many nodes");
+        Mesh2D { width, height }
+    }
+
+    /// Picks a roughly square mesh for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` cannot be factored into a `w x h` grid (i.e. `n` is
+    /// prime and larger than 3 would still work — any `n >= 1` works because
+    /// we fall back to `n x 1`).
+    pub fn roughly_square(n: usize) -> Self {
+        assert!(n > 0);
+        let mut best = (n, 1);
+        let mut w = 1;
+        while w * w <= n {
+            if n.is_multiple_of(w) {
+                best = (n / w, w);
+            }
+            w += 1;
+        }
+        Mesh2D::new(best.0, best.1)
+    }
+
+    /// Mesh width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The (x, y) coordinates of a router.
+    pub fn coords(&self, r: RouterId) -> (usize, usize) {
+        (r.index() % self.width, r.index() / self.width)
+    }
+
+    /// The router at (x, y).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates lie outside the mesh.
+    pub fn router_at(&self, x: usize, y: usize) -> RouterId {
+        assert!(x < self.width && y < self.height, "coords out of range");
+        RouterId((y * self.width + x) as u16)
+    }
+}
+
+impl Topology for Mesh2D {
+    fn num_nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn links(&self) -> Vec<LinkSpec> {
+        let mut links = Vec::new();
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let here = self.router_at(x, y);
+                if x + 1 < self.width {
+                    links.push(LinkSpec { a: here, b: self.router_at(x + 1, y) });
+                }
+                if y + 1 < self.height {
+                    links.push(LinkSpec { a: here, b: self.router_at(x, y + 1) });
+                }
+            }
+        }
+        links
+    }
+
+    fn initial_tables(&self) -> RoutingTables {
+        let n = self.num_routers();
+        let mut tables = RoutingTables::unreachable(n);
+        for r in 0..n {
+            let (x, y) = self.coords(RouterId(r as u16));
+            for d in 0..n {
+                let (dx, dy) = self.coords(RouterId(d as u16));
+                let hop = if d == r {
+                    Hop::Local
+                } else if dx != x {
+                    // X first.
+                    let nx = if dx > x { x + 1 } else { x - 1 };
+                    Hop::Toward(self.router_at(nx, y))
+                } else {
+                    let ny = if dy > y { y + 1 } else { y - 1 };
+                    Hop::Toward(self.router_at(x, ny))
+                };
+                tables.set(RouterId(r as u16), RouterId(d as u16), hop);
+            }
+        }
+        tables
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh2d"
+    }
+}
+
+/// A binary hypercube of dimension `dim` (2^dim routers), standing in for
+/// FLASH's hierarchical fat hypercube: its diameter grows as `log2(n)` rather
+/// than the mesh's `O(sqrt(n))`, which is what drives the faster
+/// dissemination phase in Figure 5.5.
+///
+/// Initial routing is e-cube (correct the lowest differing address bit
+/// first), which is deadlock-free.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::{Hypercube, Topology};
+///
+/// let cube = Hypercube::new(3);
+/// assert_eq!(cube.num_nodes(), 8);
+/// assert_eq!(cube.links().len(), 3 * 8 / 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates a hypercube with `2^dim` routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim > 14` (node count would exceed `u16` range).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim <= 14, "hypercube too large");
+        Hypercube { dim }
+    }
+
+    /// Picks the smallest hypercube with at least `n` nodes.
+    pub fn at_least(n: usize) -> Self {
+        let mut dim = 0;
+        while (1usize << dim) < n {
+            dim += 1;
+        }
+        Hypercube::new(dim)
+    }
+
+    /// The dimension (log2 of the router count).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn num_nodes(&self) -> usize {
+        1 << self.dim
+    }
+
+    fn links(&self) -> Vec<LinkSpec> {
+        let n = self.num_nodes();
+        let mut links = Vec::new();
+        for r in 0..n {
+            for bit in 0..self.dim {
+                let peer = r ^ (1 << bit);
+                if peer > r {
+                    links.push(LinkSpec { a: RouterId(r as u16), b: RouterId(peer as u16) });
+                }
+            }
+        }
+        links
+    }
+
+    fn initial_tables(&self) -> RoutingTables {
+        let n = self.num_routers();
+        let mut tables = RoutingTables::unreachable(n);
+        for r in 0..n {
+            for d in 0..n {
+                let hop = if d == r {
+                    Hop::Local
+                } else {
+                    let diff = (r ^ d) as u32;
+                    let bit = diff.trailing_zeros();
+                    Hop::Toward(RouterId((r ^ (1 << bit)) as u16))
+                };
+                tables.set(RouterId(r as u16), RouterId(d as u16), hop);
+            }
+        }
+        tables
+    }
+
+    fn name(&self) -> &'static str {
+        "hypercube"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_link_count() {
+        // w*h mesh has (w-1)*h + w*(h-1) links.
+        let m = Mesh2D::new(4, 4);
+        assert_eq!(m.links().len(), 3 * 4 + 4 * 3);
+        let m = Mesh2D::new(1, 1);
+        assert!(m.links().is_empty());
+    }
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let m = Mesh2D::new(5, 3);
+        for y in 0..3 {
+            for x in 0..5 {
+                let r = m.router_at(x, y);
+                assert_eq!(m.coords(r), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_square_factors() {
+        assert_eq!(Mesh2D::roughly_square(16), Mesh2D::new(4, 4));
+        assert_eq!(Mesh2D::roughly_square(8), Mesh2D::new(4, 2));
+        assert_eq!(Mesh2D::roughly_square(128), Mesh2D::new(16, 8));
+        assert_eq!(Mesh2D::roughly_square(7), Mesh2D::new(7, 1));
+    }
+
+    #[test]
+    fn mesh_dimension_order_routing_reaches_everything() {
+        let m = Mesh2D::new(4, 3);
+        let tables = m.initial_tables();
+        for s in 0..m.num_routers() {
+            for d in 0..m.num_routers() {
+                // Walk the tables; must arrive within diameter hops.
+                let mut at = RouterId(s as u16);
+                let dest = RouterId(d as u16);
+                let mut hops = 0;
+                loop {
+                    match tables.hop(at, dest) {
+                        Hop::Local => {
+                            assert_eq!(at, dest);
+                            break;
+                        }
+                        Hop::Toward(next) => {
+                            at = next;
+                            hops += 1;
+                            assert!(hops <= 8, "routing loop {s}->{d}");
+                        }
+                        other => panic!("unexpected hop {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_ecube_routing_hops_equal_hamming_distance() {
+        let c = Hypercube::new(4);
+        let tables = c.initial_tables();
+        for s in 0..c.num_routers() {
+            for d in 0..c.num_routers() {
+                let mut at = RouterId(s as u16);
+                let dest = RouterId(d as u16);
+                let mut hops = 0u32;
+                while let Hop::Toward(next) = tables.hop(at, dest) {
+                    at = next;
+                    hops += 1;
+                    assert!(hops <= 4);
+                }
+                assert_eq!(at, dest);
+                assert_eq!(hops, (s ^ d).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    fn node_router_mapping_is_identity() {
+        let c = Hypercube::new(2);
+        assert_eq!(c.router_of(NodeId(3)), RouterId(3));
+        assert_eq!(c.node_of(RouterId(2)), NodeId(2));
+    }
+
+    #[test]
+    fn hypercube_at_least() {
+        assert_eq!(Hypercube::at_least(1).num_nodes(), 1);
+        assert_eq!(Hypercube::at_least(5).num_nodes(), 8);
+        assert_eq!(Hypercube::at_least(128).num_nodes(), 128);
+    }
+}

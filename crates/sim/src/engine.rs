@@ -1,0 +1,333 @@
+//! The simulation engine: an event loop over an [`EventQueue`].
+//!
+//! The engine is generic over the event type `E` and a *world* — the mutable
+//! simulation state that knows how to dispatch each event. Subsystems
+//! (interconnect, node controllers, recovery controllers) hand new events to
+//! the [`Scheduler`] passed into [`World::dispatch`].
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Simulation state that can dispatch events of type `Ev`.
+///
+/// Implementors are the top-level machine models; each event delivered by the
+/// engine is handed to [`World::dispatch`] together with a [`Scheduler`] used
+/// to schedule follow-up events.
+pub trait World {
+    /// The event type driving this world.
+    type Ev;
+
+    /// Handles one event occurring at time `sched.now()`.
+    fn dispatch(&mut self, ev: Self::Ev, sched: &mut Scheduler<'_, Self::Ev>);
+}
+
+/// Interface handed to [`World::dispatch`] for scheduling follow-up events.
+#[allow(missing_debug_implementations)]
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `ev` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the current time; events may
+    /// never be scheduled in the past.
+    pub fn at(&mut self, at: SimTime, ev: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    /// Schedules `ev` to occur `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, ev: E) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Schedules `ev` at the current time (processed after all events already
+    /// queued for this instant, preserving FIFO order).
+    pub fn immediately(&mut self, ev: E) {
+        self.queue.push(self.now, ev);
+    }
+
+    /// Asks the engine to stop after the current event completes.
+    pub fn request_stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// Why a call to [`Engine::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time horizon passed; undelivered future events remain queued.
+    HorizonReached,
+    /// The event budget was exhausted (likely livelock); events remain queued.
+    BudgetExhausted,
+    /// The world requested a stop via [`Scheduler::request_stop`].
+    Stopped,
+}
+
+/// A discrete-event simulation engine.
+///
+/// # Examples
+///
+/// ```
+/// use flash_sim::{Engine, World, Scheduler, SimTime, SimDuration, RunOutcome};
+///
+/// struct Counter(u32);
+/// impl World for Counter {
+///     type Ev = ();
+///     fn dispatch(&mut self, _ev: (), sched: &mut Scheduler<'_, ()>) {
+///         self.0 += 1;
+///         if self.0 < 5 {
+///             sched.after(SimDuration::from_nanos(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new();
+/// engine.schedule_at(SimTime::ZERO, ());
+/// let mut world = Counter(0);
+/// let outcome = engine.run(&mut world, SimTime::MAX);
+/// assert_eq!(outcome, RunOutcome::Drained);
+/// assert_eq!(world.0, 5);
+/// assert_eq!(engine.now(), SimTime::from_nanos(40));
+/// ```
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    budget: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time zero with an effectively unlimited event
+    /// budget.
+    pub fn new() -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            budget: u64::MAX,
+        }
+    }
+
+    /// Sets the maximum number of events to process across all `run` calls;
+    /// exceeding it makes `run` return [`RunOutcome::BudgetExhausted`]. Acts
+    /// as a livelock guard for fault experiments.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.budget = budget;
+    }
+
+    /// The current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time (which may be in the past only
+    /// before the first `run` call).
+    pub fn schedule_at(&mut self, at: SimTime, ev: E) {
+        self.queue.push(at, ev);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, ev: E) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Runs until the queue drains, `horizon` is passed, the event budget is
+    /// exhausted, or the world requests a stop.
+    ///
+    /// Events with timestamps `<= horizon` are delivered; the first event
+    /// beyond the horizon stays queued and the engine's clock advances to
+    /// `horizon`.
+    pub fn run<W: World<Ev = E>>(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return RunOutcome::Drained;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            if self.processed >= self.budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+            };
+            world.dispatch(ev, &mut sched);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Processes exactly one event if one is pending; returns whether an
+    /// event was processed.
+    pub fn step<W: World<Ev = E>>(&mut self, world: &mut W) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.now = t;
+        self.processed += 1;
+        let mut stop = false;
+        let mut sched = Scheduler {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut stop,
+        };
+        world.dispatch(ev, &mut sched);
+        true
+    }
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> std::fmt::Debug for Engine<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(u64, u32)>,
+        stop_at: Option<u32>,
+    }
+
+    impl World for Recorder {
+        type Ev = u32;
+        fn dispatch(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+            self.seen.push((sched.now().as_nanos(), ev));
+            if Some(ev) == self.stop_at {
+                sched.request_stop();
+            }
+        }
+    }
+
+    #[test]
+    fn runs_to_drain_in_order() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(30), 3);
+        engine.schedule_at(SimTime::from_nanos(10), 1);
+        engine.schedule_at(SimTime::from_nanos(20), 2);
+        let mut w = Recorder { seen: vec![], stop_at: None };
+        assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Drained);
+        assert_eq!(w.seen, vec![(10, 1), (20, 2), (30, 3)]);
+        assert_eq!(engine.events_processed(), 3);
+    }
+
+    #[test]
+    fn horizon_stops_delivery() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(10), 1);
+        engine.schedule_at(SimTime::from_nanos(100), 2);
+        let mut w = Recorder { seen: vec![], stop_at: None };
+        let outcome = engine.run(&mut w, SimTime::from_nanos(50));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(w.seen, vec![(10, 1)]);
+        assert_eq!(engine.now(), SimTime::from_nanos(50));
+        assert_eq!(engine.pending(), 1);
+        // Resuming past the horizon delivers the rest.
+        assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Drained);
+        assert_eq!(w.seen.len(), 2);
+    }
+
+    #[test]
+    fn budget_guards_livelock() {
+        struct Loopy;
+        impl World for Loopy {
+            type Ev = ();
+            fn dispatch(&mut self, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.after(SimDuration::from_nanos(1), ());
+            }
+        }
+        let mut engine = Engine::new();
+        engine.set_event_budget(1000);
+        engine.schedule_at(SimTime::ZERO, ());
+        let outcome = engine.run(&mut Loopy, SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(engine.events_processed(), 1000);
+    }
+
+    #[test]
+    fn stop_request_halts_immediately() {
+        let mut engine = Engine::new();
+        for i in 0..10 {
+            engine.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let mut w = Recorder { seen: vec![], stop_at: Some(4) };
+        assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Stopped);
+        assert_eq!(w.seen.len(), 5);
+        assert_eq!(engine.pending(), 5);
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(5), 7);
+        let mut w = Recorder { seen: vec![], stop_at: None };
+        assert!(engine.step(&mut w));
+        assert!(!engine.step(&mut w));
+        assert_eq!(w.seen, vec![(5, 7)]);
+    }
+
+    #[test]
+    fn scheduler_immediately_preserves_fifo() {
+        struct Chain(Vec<u32>);
+        impl World for Chain {
+            type Ev = u32;
+            fn dispatch(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.0.push(ev);
+                if ev == 0 {
+                    sched.immediately(1);
+                    sched.immediately(2);
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::ZERO, 0);
+        let mut w = Chain(vec![]);
+        engine.run(&mut w, SimTime::MAX);
+        assert_eq!(w.0, vec![0, 1, 2]);
+    }
+}

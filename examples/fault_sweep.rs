@@ -1,0 +1,52 @@
+//! A miniature Table 5.3: sweep all five fault types of Table 5.2 with
+//! several random seeds each, and report pass/fail counts from the
+//! incoherence oracle.
+//!
+//! ```sh
+//! cargo run --release --example fault_sweep [runs-per-type]
+//! ```
+
+use flash::core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
+use flash::machine::MachineParams;
+use flash::sim::DetRng;
+
+fn main() {
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    let params = MachineParams::table_5_1();
+    println!("{:<14} {:>8} {:>8}   notes", "fault type", "runs", "failed");
+    let mut grand_failed = 0;
+    for kind in FaultKind::ALL {
+        let mut failed = 0;
+        let mut marked_total = 0u64;
+        for seed in 0..runs {
+            let mut rng = DetRng::new(seed.wrapping_mul(0x9E37) ^ kind as u64);
+            let fault = random_fault(kind, params.n_nodes, &mut rng);
+            let mut cfg = ExperimentConfig::new(params, seed);
+            cfg.fill_ops = 1_000;
+            cfg.total_ops = 2_500;
+            let out = run_fault_experiment(&cfg, fault);
+            if !out.passed() {
+                failed += 1;
+            }
+            marked_total += out.recovery.lines_marked_incoherent;
+        }
+        grand_failed += failed;
+        println!(
+            "{:<14} {:>8} {:>8}   avg {} lines marked incoherent",
+            format!("{kind:?}"),
+            runs,
+            failed,
+            marked_total / runs.max(1)
+        );
+    }
+    println!(
+        "\n{} total failures across {} experiments",
+        grand_failed,
+        runs * FaultKind::ALL.len() as u64
+    );
+    assert_eq!(grand_failed, 0, "all validation experiments must pass");
+}

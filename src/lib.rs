@@ -1,0 +1,49 @@
+//! # flash — hardware fault containment for scalable shared-memory multiprocessors
+//!
+//! A from-scratch Rust reproduction of *Hardware Fault Containment in
+//! Scalable Shared-Memory Multiprocessors* (Teodosiu, Baxter, Govil, Chapin,
+//! Rosenblum, Horowitz — ISCA 1997): the FLASH-style cc-NUMA machine
+//! simulator, the MAGIC node controller's fault-containment features, the
+//! four-phase distributed recovery algorithm, and a Hive-like cell
+//! operating-system model, together with the paper's complete
+//! fault-injection evaluation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`sim`] | `flash-sim` | discrete-event simulation kernel |
+//! | [`net`] | `flash-net` | mesh/hypercube interconnect, routers, failures |
+//! | [`coherence`] | `flash-coherence` | caches, directory protocol |
+//! | [`magic`] | `flash-magic` | node controller + containment features |
+//! | [`machine`] | `flash-machine` | assembled machine, fault injection, oracle |
+//! | [`core`] | `flash-core` | **the recovery algorithm** + experiment harness |
+//! | [`hive`] | `flash-hive` | cell OS model, parallel-make experiments |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use flash::core::{run_fault_experiment, ExperimentConfig};
+//! use flash::machine::{FaultSpec, MachineParams};
+//! use flash::net::NodeId;
+//!
+//! // Inject a node failure into the paper's 8-node machine and verify
+//! // recovery against the incoherence oracle.
+//! let cfg = ExperimentConfig::new(MachineParams::table_5_1(), 1);
+//! let outcome = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(3)));
+//! assert!(outcome.passed());
+//! println!("hardware recovery: {:?}", outcome.recovery.phases.total());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! benchmark harness regenerating every table and figure of the paper.
+
+#![warn(missing_docs)]
+
+pub use flash_coherence as coherence;
+pub use flash_core as core;
+pub use flash_hive as hive;
+pub use flash_machine as machine;
+pub use flash_magic as magic;
+pub use flash_net as net;
+pub use flash_sim as sim;

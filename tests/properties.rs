@@ -1,0 +1,245 @@
+//! Property-based tests of the recovery algorithm's building blocks and of
+//! full fault-injection runs on randomized configurations.
+
+use flash::coherence::{L2Cache, LineAddr, NodeSet, Version};
+use flash::core::View;
+use flash::net::{
+    channel_dependencies_acyclic, up_down_tables, Mesh2D, NodeId, RouterId, Topology, UGraph,
+};
+use proptest::prelude::*;
+
+fn mesh_graph(w: usize, h: usize) -> UGraph {
+    let m = Mesh2D::new(w, h);
+    UGraph::from_edges(m.num_routers(), m.links().iter().map(|l| (l.a.0, l.b.0)))
+}
+
+fn arb_view(w: usize, h: usize) -> impl Strategy<Value = View> {
+    let n = w * h;
+    (
+        proptest::collection::vec(any::<bool>(), n),
+        proptest::collection::vec(any::<bool>(), Mesh2D::new(w, h).links().len()),
+    )
+        .prop_map(move |(nodes_up, links_up)| {
+            let m = Mesh2D::new(w, h);
+            let mut v = View::new();
+            for (i, up) in nodes_up.iter().enumerate() {
+                if *up {
+                    v.set_node_up(NodeId(i as u16));
+                } else {
+                    v.set_node_down(NodeId(i as u16));
+                }
+            }
+            for (l, up) in m.links().iter().zip(links_up.iter()) {
+                if *up {
+                    v.set_link_up(l.a, l.b);
+                } else {
+                    v.set_link_down(l.a, l.b);
+                }
+            }
+            v
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The dissemination merge is commutative and idempotent — the lattice
+    /// property the round exchange relies on.
+    #[test]
+    fn view_merge_is_a_join(a in arb_view(4, 3), b in arb_view(4, 3), c in arb_view(4, 3)) {
+        // Commutativity.
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        // Idempotence.
+        let mut aa = a.clone();
+        prop_assert!(!aa.merge(&a.clone()));
+        prop_assert_eq!(&aa, &a);
+        // Associativity.
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc);
+    }
+
+    /// up*/down* rerouting is deadlock-free and connects every pair of
+    /// routers that remains connected, for arbitrary failed link/router
+    /// sets on a mesh.
+    #[test]
+    fn up_down_is_safe_on_random_failures(
+        dead_routers in proptest::collection::vec(0u16..12, 0..4),
+        dead_links in proptest::collection::vec(0usize..17, 0..5),
+    ) {
+        let m = Mesh2D::new(4, 3);
+        let links = m.links();
+        let mut alive = vec![true; 12];
+        for r in &dead_routers {
+            alive[*r as usize] = false;
+        }
+        let mut g = UGraph::new(12);
+        for (i, l) in links.iter().enumerate() {
+            if !dead_links.contains(&i) && alive[l.a.index()] && alive[l.b.index()] {
+                g.add_edge(l.a.0, l.b.0);
+            }
+        }
+        let Some(root) = (0..12u16).find(|&r| alive[r as usize]) else {
+            return Ok(());
+        };
+        let tables = up_down_tables(&g, &alive, RouterId(root));
+        prop_assert!(channel_dependencies_acyclic(&tables, &g, &alive));
+        // Connectivity: every pair in the root's component is routable.
+        let dist = g.bfs_distances(root, &alive);
+        for s in 0..12u16 {
+            for d in 0..12u16 {
+                if dist[s as usize] != u32::MAX && dist[d as usize] != u32::MAX {
+                    prop_assert!(
+                        tables.route_length(RouterId(s), RouterId(d)).is_some(),
+                        "no route {}->{}", s, d
+                    );
+                }
+            }
+        }
+    }
+
+    /// The dissemination round bounds — the paper's `2h` and the tighter
+    /// center-based estimate — always cover the exact diameter of the live
+    /// cwn graph, and the center bound never exceeds `2h`.
+    #[test]
+    fn round_bound_covers_diameter(view in arb_view(4, 4)) {
+        let design = mesh_graph(4, 4);
+        let g = view.cwn_graph(&design);
+        let alive: Vec<bool> = (0..16u16)
+            .map(|i| view.live_nodes().contains(NodeId(i)))
+            .collect();
+        // Only meaningful when the live nodes are connected (the recovery
+        // algorithm's operating assumption).
+        prop_assume!(g.live_connected(&alive));
+        let diam = g.exact_diameter(&alive);
+        let bound = view.round_bound(&design);
+        prop_assert!(bound >= diam);
+        let center = view.round_bound_center(&design);
+        prop_assert!(center >= diam, "center bound sound: {} >= {}", center, diam);
+        prop_assert!(center <= bound, "center bound no worse than 2h");
+    }
+
+    /// Cache model invariants under random operation sequences: occupancy
+    /// never exceeds capacity, lookups agree with a reference map, and
+    /// flush returns exactly the dirty lines.
+    #[test]
+    fn cache_matches_reference_model(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+        let mut cache = L2Cache::new(16);
+        let mut reference: std::collections::HashMap<u64, (bool, Version)> =
+            std::collections::HashMap::new();
+        for (addr, write) in ops {
+            let line = LineAddr(addr);
+            match (cache.lookup(line).copied(), write) {
+                (Some(l), true) if l.exclusive => {
+                    let v = cache.store(line).unwrap();
+                    reference.insert(addr, (true, v));
+                }
+                (Some(_), true) => {
+                    cache.invalidate(line);
+                    reference.remove(&addr);
+                    let out = cache.insert(line, true, Version(addr));
+                    track_eviction(&mut reference, out);
+                    let v = cache.store(line).unwrap();
+                    reference.insert(addr, (true, v));
+                }
+                (Some(_), false) => {
+                    cache.touch(line);
+                }
+                (None, write) => {
+                    let out = cache.insert(line, write, Version(addr));
+                    track_eviction(&mut reference, out);
+                    if write {
+                        let v = cache.store(line).unwrap();
+                        reference.insert(addr, (true, v));
+                    } else {
+                        reference.insert(addr, (false, Version(addr)));
+                    }
+                }
+            }
+            prop_assert!(cache.len() <= cache.capacity());
+            prop_assert_eq!(cache.len(), reference.len());
+        }
+        // Flush returns exactly the dirty set.
+        let mut dirty_expected: Vec<u64> = reference
+            .iter()
+            .filter(|(_, (d, _))| *d)
+            .map(|(a, _)| *a)
+            .collect();
+        dirty_expected.sort_unstable();
+        let flushed: Vec<u64> = cache.flush_all().iter().map(|l| l.addr.0).collect();
+        prop_assert_eq!(flushed, dirty_expected);
+        prop_assert!(cache.is_empty());
+    }
+
+    /// NodeSet behaves like a reference set.
+    #[test]
+    fn nodeset_matches_reference(ops in proptest::collection::vec((0u16..256, any::<bool>()), 0..200)) {
+        let mut set = NodeSet::new();
+        let mut reference = std::collections::BTreeSet::new();
+        for (id, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(NodeId(id)), reference.insert(id));
+            } else {
+                prop_assert_eq!(set.remove(NodeId(id)), reference.remove(&id));
+            }
+            prop_assert_eq!(set.len(), reference.len());
+        }
+        let members: Vec<u16> = set.iter().map(|n| n.0).collect();
+        let expected: Vec<u16> = reference.into_iter().collect();
+        prop_assert_eq!(members, expected);
+    }
+}
+
+fn track_eviction(
+    reference: &mut std::collections::HashMap<u64, (bool, Version)>,
+    out: flash::coherence::InsertOutcome,
+) {
+    match out {
+        flash::coherence::InsertOutcome::Installed => {}
+        flash::coherence::InsertOutcome::EvictedClean(a) => {
+            reference.remove(&a.0);
+        }
+        flash::coherence::InsertOutcome::EvictedDirty(l) => {
+            reference.remove(&l.addr.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full randomized fault-injection runs validate cleanly (a randomized
+    /// micro Table 5.3 over machine shape, seed and fault type).
+    #[test]
+    fn randomized_experiments_validate(
+        seed in 0u64..1_000,
+        kind_idx in 0usize..5,
+        n_nodes in prop::sample::select(vec![4usize, 6, 8]),
+    ) {
+        use flash::core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
+        use flash::machine::MachineParams;
+        use flash::sim::DetRng;
+
+        let mut params = MachineParams::tiny();
+        params.n_nodes = n_nodes;
+        let mut rng = DetRng::new(seed);
+        let fault = random_fault(FaultKind::ALL[kind_idx], n_nodes, &mut rng);
+        let mut cfg = ExperimentConfig::new(params, seed);
+        cfg.fill_ops = 120;
+        cfg.total_ops = 350;
+        let out = run_fault_experiment(&cfg, fault.clone());
+        prop_assert!(
+            out.passed(),
+            "fault {:?} on {} nodes seed {}: {} / recovery completed: {}",
+            fault, n_nodes, seed, out.validation, out.recovery.completed()
+        );
+    }
+}

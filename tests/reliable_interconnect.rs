@@ -1,0 +1,68 @@
+//! The Section 6.3 variant: with HAL-style hardware end-to-end interconnect
+//! reliability, "the cache flush step could be eliminated, but the
+//! directories would still have to be scanned and their state updated to
+//! reflect the loss of memory lines cached either shared or exclusive in
+//! the failed portion of the machine."
+
+use flash::core::{run_fault_experiment, ExperimentConfig, RecoveryConfig};
+use flash::machine::{FaultSpec, MachineParams};
+use flash::net::NodeId;
+
+fn cfg(seed: u64, reliable: bool) -> ExperimentConfig {
+    let recovery = RecoveryConfig { reliable_interconnect: reliable, ..Default::default() };
+    let mut c = ExperimentConfig::new(MachineParams::table_5_1(), seed);
+    c.recovery = recovery;
+    c.fill_ops = 800;
+    c.total_ops = 2_000;
+    c
+}
+
+#[test]
+fn node_failure_recovers_without_flushing() {
+    let out = run_fault_experiment(&cfg(91, true), FaultSpec::Node(NodeId(3)));
+    assert!(out.passed(), "{:?} / {}", out.recovery, out.validation);
+    // No writebacks were issued and the flush step took no simulated time.
+    assert_eq!(out.recovery.flush_writebacks, 0);
+    let wb = out.recovery.writeback_time().unwrap();
+    assert!(
+        wb < flash::sim::SimDuration::from_micros(500),
+        "flush step eliminated: {wb}"
+    );
+}
+
+#[test]
+fn assertion_failure_recovers_without_flushing() {
+    let out = run_fault_experiment(&cfg(92, true), FaultSpec::FirmwareAssertion(NodeId(5)));
+    assert!(out.passed(), "{:?} / {}", out.recovery, out.validation);
+    assert_eq!(out.recovery.flush_writebacks, 0);
+}
+
+#[test]
+fn pruned_recovery_is_much_faster_in_p4() {
+    let flush = run_fault_experiment(&cfg(93, false), FaultSpec::Node(NodeId(2)));
+    let pruned = run_fault_experiment(&cfg(93, true), FaultSpec::Node(NodeId(2)));
+    assert!(flush.passed() && pruned.passed());
+    let p4_flush = flush.recovery.p4_time().unwrap();
+    let p4_pruned = pruned.recovery.p4_time().unwrap();
+    assert!(
+        p4_pruned.as_nanos() * 2 < p4_flush.as_nanos(),
+        "pruning avoids the flush: {p4_pruned} vs {p4_flush}"
+    );
+}
+
+#[test]
+fn false_alarm_with_reliable_interconnect_loses_nothing() {
+    let out = run_fault_experiment(&cfg(94, true), FaultSpec::FalseAlarm(NodeId(1)));
+    assert!(out.passed(), "{:?} / {}", out.recovery, out.validation);
+    assert_eq!(out.recovery.lines_marked_incoherent, 0);
+    assert_eq!(out.validation.marked_incoherent, 0);
+}
+
+#[test]
+fn batch_of_node_failures_validates_with_pruning() {
+    for seed in 0..6u64 {
+        let victim = NodeId(1 + (seed % 7) as u16);
+        let out = run_fault_experiment(&cfg(100 + seed, true), FaultSpec::Node(victim));
+        assert!(out.passed(), "seed {seed}: {:?} / {}", out.recovery, out.validation);
+    }
+}
