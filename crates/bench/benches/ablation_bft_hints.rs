@@ -20,7 +20,10 @@ use flash_net::NodeId;
 fn dissemination_ms(n: usize, hints: bool, seed: u64) -> f64 {
     let mut params = MachineParams::table_5_1();
     params.n_nodes = n;
-    let recovery = RecoveryConfig { bft_hints: hints, ..Default::default() };
+    let recovery = RecoveryConfig {
+        bft_hints: hints,
+        ..Default::default()
+    };
     let mut cfg = ExperimentConfig::new(params, seed);
     cfg.recovery = recovery;
     cfg.fill_ops = 100;
@@ -49,8 +52,9 @@ fn main() {
             100.0 * (without - with) / without.max(1e-9)
         );
     }
+    println!("\nthe saving is the per-node BFT cost removed from the round critical path");
     println!(
-        "\nthe saving is the per-node BFT cost removed from the round critical path"
+        "on every node that receives a hint before stabilizing.   [{:.1}s host]",
+        sw.secs()
     );
-    println!("on every node that receives a hint before stabilizing.   [{:.1}s host]", sw.secs());
 }

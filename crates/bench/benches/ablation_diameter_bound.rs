@@ -19,7 +19,10 @@ use flash_net::NodeId;
 fn p2_ms(n: usize, center: bool, seed: u64) -> f64 {
     let mut params = MachineParams::table_5_1();
     params.n_nodes = n;
-    let recovery = RecoveryConfig { center_diameter_bound: center, ..Default::default() };
+    let recovery = RecoveryConfig {
+        center_diameter_bound: center,
+        ..Default::default()
+    };
     let mut cfg = ExperimentConfig::new(params, seed);
     cfg.recovery = recovery;
     cfg.fill_ops = 100;
@@ -55,6 +58,9 @@ fn main() {
         );
     }
     println!("\nthe corner-rooted 2h bound runs nearly 2x the diameter in rounds;");
-    println!("a near-central estimate halves the dissemination phase.   [{:.1}s host]", sw.secs());
+    println!(
+        "a near-central estimate halves the dissemination phase.   [{:.1}s host]",
+        sw.secs()
+    );
     sheet.write();
 }

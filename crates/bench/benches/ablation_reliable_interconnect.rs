@@ -20,13 +20,20 @@ fn p4_ms(l2_mb: f64, reliable: bool, seed: u64) -> f64 {
     params.n_nodes = 4;
     params.l2_mb = l2_mb;
     params.mem_mb_per_node = 4;
-    let recovery = RecoveryConfig { reliable_interconnect: reliable, ..Default::default() };
+    let recovery = RecoveryConfig {
+        reliable_interconnect: reliable,
+        ..Default::default()
+    };
     let mut cfg = ExperimentConfig::new(params, seed);
     cfg.recovery = recovery;
     cfg.fill_ops = 200;
     cfg.total_ops = 1_500;
     let out = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(1)));
-    assert!(out.passed(), "l2={l2_mb} reliable={reliable}: {}", out.validation);
+    assert!(
+        out.passed(),
+        "l2={l2_mb} reliable={reliable}: {}",
+        out.validation
+    );
     out.recovery.p4_time().unwrap().as_millis_f64()
 }
 
@@ -55,6 +62,9 @@ fn main() {
         );
     }
     println!("\nthe flush term (linear in L2 size) disappears; only the directory");
-    println!("scan (linear in memory per node) remains.   [{:.1}s host]", sw.secs());
+    println!(
+        "scan (linear in memory per node) remains.   [{:.1}s host]",
+        sw.secs()
+    );
     sheet.write();
 }

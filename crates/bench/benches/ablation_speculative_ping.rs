@@ -23,13 +23,19 @@ use flash_sim::{SimDuration, SimTime};
 fn wave_ms(n: usize, speculative: bool, seed: u64) -> f64 {
     let mut params = MachineParams::table_5_1();
     params.n_nodes = n;
-    let recovery = RecoveryConfig { speculative_pings: speculative, ..Default::default() };
+    let recovery = RecoveryConfig {
+        speculative_pings: speculative,
+        ..Default::default()
+    };
     let mut m = build_machine(params, recovery, |_| Box::new(Idle), seed);
     m.start();
     m.schedule_fault(SimTime::from_nanos(1_000), FaultSpec::FalseAlarm(NodeId(0)));
     m.run_for(SimDuration::from_secs(2));
     let report = &m.ext().report;
-    assert!(report.completed(), "n={n} speculative={speculative}: {report:?}");
+    assert!(
+        report.completed(),
+        "n={n} speculative={speculative}: {report:?}"
+    );
     report
         .trigger_wave_time()
         .expect("wave completed")

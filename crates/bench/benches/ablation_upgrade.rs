@@ -11,9 +11,9 @@ use flash_coherence::LineAddr;
 use flash_core::{build_machine, RecoveryConfig};
 use flash_machine::{MachineParams, ProcOp, Script, Workload};
 use flash_net::NodeId;
-use flash_sim::SimTime;
 #[allow(unused_imports)]
 use flash_sim::SimDuration;
+use flash_sim::SimTime;
 
 /// Runs `writes` sequential stores to held shared copies and returns the
 /// average per-store latency (simulated ns) and total packets delivered.
@@ -24,8 +24,9 @@ fn upgrade_latency(enabled: bool, writes: u64) -> (f64, u64) {
         params.upgrades_enabled = enabled;
         let mk = move |n: NodeId| -> Box<dyn Workload> {
             if n == NodeId(1) {
-                let mut ops: Vec<ProcOp> =
-                    (0..writes).map(|i| ProcOp::Read(LineAddr(100 + i))).collect();
+                let mut ops: Vec<ProcOp> = (0..writes)
+                    .map(|i| ProcOp::Read(LineAddr(100 + i)))
+                    .collect();
                 if with_writes {
                     ops.extend((0..writes).map(|i| ProcOp::Write(LineAddr(100 + i))));
                 }
@@ -67,9 +68,7 @@ fn main() {
     println!("store-to-shared avg latency, upgrade:      {up_lat:>8.0} ns");
     println!("packets delivered, full refetch:              {full_pkts:>8}");
     println!("packets delivered, upgrade:                   {up_pkts:>8}");
-    println!(
-        "\nupgrades cut the data transfer out of the upgrade path (9-flit reply ->"
-    );
+    println!("\nupgrades cut the data transfer out of the upgrade path (9-flit reply ->");
     println!("1-flit ack).   [{:.1}s host]", sw.secs());
     assert!(up_lat <= full_lat, "upgrades must not slow stores down");
     sheet.write();

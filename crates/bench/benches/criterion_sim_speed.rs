@@ -1,16 +1,20 @@
-//! **Host-side simulator throughput (Criterion).**
+//! **Host-side simulator throughput.**
 //!
 //! Not a paper result: wall-clock benchmarks of the simulator itself, so
 //! regressions in the reproduction's performance are visible. Measures
 //! normal-mode simulation throughput (with the containment features on and
 //! off — they should cost nothing at the host level either) and the
 //! latency of one full fault-recovery cycle.
+//!
+//! Uses a self-contained min-of-N timing harness (the workspace carries no
+//! external benchmarking dependency); `FLASH_RUNS` scales the sample count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flash_bench::runs_from_env;
 use flash_core::{build_machine, run_fault_experiment, ExperimentConfig, RecoveryConfig};
 use flash_machine::{FaultSpec, MachineParams, RandomFill};
 use flash_net::NodeId;
 use flash_sim::SimTime;
+use std::time::Instant;
 
 fn normal_mode_events(firewall: bool) -> u64 {
     let mut params = MachineParams::table_5_1();
@@ -28,34 +32,43 @@ fn normal_mode_events(firewall: bool) -> u64 {
     m.events_processed()
 }
 
-fn bench_normal_mode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("normal_mode_16k_ops");
-    group.sample_size(10);
+/// Times `f` over `samples` runs; reports best / median / worst host time
+/// plus the events-per-second throughput derived from the returned event
+/// count of the best run.
+fn bench<F: FnMut() -> u64>(name: &str, samples: u64, mut f: F) {
+    let mut times: Vec<(f64, u64)> = Vec::new();
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let events = f();
+        times.push((t.elapsed().as_secs_f64(), events));
+    }
+    times.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let (best, events) = times[0];
+    let median = times[times.len() / 2].0;
+    let worst = times[times.len() - 1].0;
+    println!(
+        "{name:<44} best {best:>9.4}s  median {median:>9.4}s  worst {worst:>9.4}s  \
+         ({:.0} events/s)",
+        events as f64 / best.max(1e-9)
+    );
+}
+
+fn main() {
+    let samples = runs_from_env(10);
+    println!("simulator host-side throughput ({samples} samples per case)");
     for firewall in [false, true] {
-        group.bench_with_input(
-            BenchmarkId::new("firewall", firewall),
-            &firewall,
-            |b, &fw| b.iter(|| normal_mode_events(fw)),
+        bench(
+            &format!("normal_mode_16k_ops/firewall={firewall}"),
+            samples,
+            || normal_mode_events(firewall),
         );
     }
-    group.finish();
-}
-
-fn bench_recovery_cycle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_fault_recovery_cycle");
-    group.sample_size(10);
-    group.bench_function("node_failure_8_nodes", |b| {
-        b.iter(|| {
-            let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), 9);
-            cfg.fill_ops = 500;
-            cfg.total_ops = 1_500;
-            let out = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(3)));
-            assert!(out.passed());
-            out.end_time
-        })
+    bench("full_fault_recovery_cycle/node_failure_8", samples, || {
+        let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), 9);
+        cfg.fill_ops = 500;
+        cfg.total_ops = 1_500;
+        let out = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(3)));
+        assert!(out.passed());
+        out.end_time.as_nanos()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_normal_mode, bench_recovery_cycle);
-criterion_main!(benches);

@@ -54,7 +54,10 @@ fn main() {
         let t = recovery_times(n, TopologyKind::Mesh2D, 7);
         mesh_p2.push(t[1] - t[0]);
         sheet.push(format!("mesh/nodes={n}"), &t);
-        println!("{n:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}", t[0], t[1], t[2], t[3]);
+        println!(
+            "{n:>6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            t[0], t[1], t[2], t[3]
+        );
     }
 
     println!("\nhypercube topology (FLASH's real interconnect family):");
@@ -76,9 +79,7 @@ fn main() {
             mesh_p2[i] / cube_p2.max(1e-9)
         );
     }
-    println!(
-        "\npaper shape: total ~150-200 ms at 128 nodes, dominated by the dissemination"
-    );
+    println!("\npaper shape: total ~150-200 ms at 128 nodes, dominated by the dissemination");
     println!(
         "phase; P1 roughly constant; hypercube dissemination faster.   [{:.1}s host]",
         sw.secs()

@@ -36,8 +36,7 @@ fn main() {
 
     println!("left graph: L2 size sweep (4 nodes, 4 MB/node):");
     println!("{:>10} {:>12} {:>12}", "L2 [MB]", "WB [ms]", "P4 [ms]");
-    let mut sheet =
-        ResultSheet::new("fig_5_6_p4_scaling", "Figure 5.6", &["wb_ms", "p4_ms"]);
+    let mut sheet = ResultSheet::new("fig_5_6_p4_scaling", "Figure 5.6", &["wb_ms", "p4_ms"]);
     let mut wb_per_mb = Vec::new();
     for &l2 in &[0.5f64, 1.0, 2.0, 4.0] {
         let (wb, p4) = p4_times(l2, 4, 11);
@@ -50,7 +49,10 @@ fn main() {
     println!("WB-per-MB spread across the sweep: {spread:.3}x (1.0 = perfectly linear)");
 
     println!("\nright graph: memory-per-node sweep (4 nodes, 1 MB L2):");
-    println!("{:>10} {:>12} {:>12} {:>14}", "mem [MB]", "WB [ms]", "P4 [ms]", "scan [ms]");
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "mem [MB]", "WB [ms]", "P4 [ms]", "scan [ms]"
+    );
     let mut scan_per_mb = Vec::new();
     for &mem in &[1u64, 8, 16, 32, 64] {
         let (wb, p4) = p4_times(1.0, mem, 12);
@@ -60,9 +62,7 @@ fn main() {
         println!("{mem:>10} {wb:>12.3} {p4:>12.3} {scan:>14.3}");
     }
 
-    println!(
-        "\npaper shape: both components linear — flush ~1.2us/line of L2, directory"
-    );
+    println!("\npaper shape: both components linear — flush ~1.2us/line of L2, directory");
     println!(
         "scan ~75ns/line of node memory (calibrated constants).   [{:.1}s host]",
         sw.secs()

@@ -48,15 +48,22 @@ fn main() {
             Some(FaultSpec::Node(NodeId(1))),
             77,
         );
-        assert!(out.finished && out.unaffected_all_completed(), "n={n}: {:?}", out.compiles);
-        let hw = out.recovery.phases.total().expect("recovery ran").as_millis_f64();
+        assert!(
+            out.finished && out.unaffected_all_completed(),
+            "n={n}: {:?}",
+            out.compiles
+        );
+        let hw = out
+            .recovery
+            .phases
+            .total()
+            .expect("recovery ran")
+            .as_millis_f64();
         let os = out.os_time.as_millis_f64();
         sheet.push(format!("nodes={n}"), &[hw, os, hw + os]);
         println!("{n:>6} {hw:>12.3} {os:>12.3} {:>12.3}", hw + os);
     }
-    println!(
-        "\npaper shape: tens to ~200 ms, OS part growing with the cell count and"
-    );
+    println!("\npaper shape: tens to ~200 ms, OS part growing with the cell count and");
     println!(
         "dominating at larger configurations.   [{:.1}s host]",
         sw.secs()

@@ -8,19 +8,18 @@
 //! Run counts scale with `FLASH_RUNS` (default 200 per type, as in the
 //! paper; set lower for a quick pass).
 
-use crossbeam::thread;
 use flash_bench::{banner, runs_from_env, Stopwatch};
 use flash_core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
 use flash_machine::MachineParams;
 use flash_sim::DetRng;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
     let failures = Mutex::new(0u64);
     let next = std::sync::atomic::AtomicU64::new(0);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if seed >= runs {
                     return;
@@ -33,7 +32,7 @@ fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
                 cfg.total_ops = 4_000; // worth of touched lines, then keep running
                 let out = run_fault_experiment(&cfg, fault.clone());
                 if !out.passed() {
-                    let mut f = failures.lock();
+                    let mut f = failures.lock().expect("no poisoned lock");
                     *f += 1;
                     eprintln!(
                         "FAILURE {kind:?} seed {seed} {fault:?}: {} (recovery completed: {})",
@@ -43,9 +42,8 @@ fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    (runs, failures.into_inner())
+    });
+    (runs, failures.into_inner().expect("no poisoned lock"))
 }
 
 fn main() {
@@ -54,9 +52,14 @@ fn main() {
         "Teodosiu et al., ISCA'97, Table 5.3 (200 runs per fault type, 0 failures)",
     );
     let runs = runs_from_env(200);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let sw = Stopwatch::start();
-    println!("{:<38} {:>14} {:>22}", "Injected fault type", "# of", "# of failed");
+    println!(
+        "{:<38} {:>14} {:>22}",
+        "Injected fault type", "# of", "# of failed"
+    );
     println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
     let rows = [
         (FaultKind::Node, "Node failure"),

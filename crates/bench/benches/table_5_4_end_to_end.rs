@@ -10,20 +10,19 @@
 //! rate here is 100 %; the row structure matches the paper's table.
 //! `FLASH_RUNS` scales the per-type run count (paper: 215–394 per type).
 
-use crossbeam::thread;
 use flash_bench::{banner, runs_from_env, Stopwatch};
 use flash_core::{random_fault, FaultKind, RecoveryConfig};
 use flash_hive::{run_parallel_make, HiveConfig};
 use flash_machine::MachineParams;
 use flash_sim::DetRng;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
     let failures = Mutex::new(0u64);
     let next = std::sync::atomic::AtomicU64::new(0);
-    thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
+            s.spawn(|| loop {
                 let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if seed >= runs {
                     return;
@@ -46,7 +45,7 @@ fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
                     seed,
                 );
                 if !(out.finished && out.unaffected_all_completed()) {
-                    let mut f = failures.lock();
+                    let mut f = failures.lock().expect("no poisoned lock");
                     *f += 1;
                     eprintln!(
                         "FAILURE {kind:?} seed {seed} {fault:?}: finished={} compiles={:?}",
@@ -55,9 +54,8 @@ fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
                 }
             });
         }
-    })
-    .expect("worker panicked");
-    (runs, failures.into_inner())
+    });
+    (runs, failures.into_inner().expect("no poisoned lock"))
 }
 
 fn main() {
@@ -66,9 +64,14 @@ fn main() {
         "Teodosiu et al., ISCA'97, Table 5.4 (1187 runs, 99 failed — all OS bugs)",
     );
     let runs = runs_from_env(50);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let sw = Stopwatch::start();
-    println!("{:<38} {:>14} {:>22}", "Injected fault type", "# of", "# of failed");
+    println!(
+        "{:<38} {:>14} {:>22}",
+        "Injected fault type", "# of", "# of failed"
+    );
     println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
     let rows = [
         (FaultKind::Node, "Node failure"),
@@ -86,12 +89,13 @@ fn main() {
     }
     println!("{:<38} {total:>14} {total_failed:>22}", "Total");
     let pct = 100.0 * (total - total_failed) as f64 / total as f64;
-    println!(
-        "\npaper: 91.6% of unaffected compiles finished (failures were IRIX/Hive bugs);"
-    );
+    println!("\npaper: 91.6% of unaffected compiles finished (failures were IRIX/Hive bugs);");
     println!(
         "measured: {pct:.1}% (our OS model has no such bugs)   [{:.1}s host]",
         sw.secs()
     );
-    assert_eq!(total_failed, 0, "hardware recovery must never fail the unaffected compiles");
+    assert_eq!(
+        total_failed, 0,
+        "hardware recovery must never fail the unaffected compiles"
+    );
 }

@@ -39,7 +39,9 @@ fn write_miss_latency_ns(firewall_enabled: bool, writes: u64) -> f64 {
         let pages = st.layout.lines_per_node() / 32;
         let acl: NodeSet = [NodeId(0), NodeId(1)].into_iter().collect();
         for p in 0..pages {
-            st.nodes[0].firewall.restrict(flash_coherence::PageAddr(p), acl);
+            st.nodes[0]
+                .firewall
+                .restrict(flash_coherence::PageAddr(p), acl);
         }
     }
     m.start();
@@ -72,5 +74,8 @@ fn main() {
         sw.secs()
     );
     assert!(overhead >= 0.0, "firewall can only add latency");
-    assert!(pct < 7.0, "firewall overhead must stay under the paper's 7% bound");
+    assert!(
+        pct < 7.0,
+        "firewall overhead must stay under the paper's 7% bound"
+    );
 }

@@ -5,7 +5,7 @@
 //! choices). The figure/table targets are `harness = false` binaries that
 //! run simulated experiments and print the same rows/series the paper
 //! reports — in *simulated* time; `criterion_sim_speed` measures host-side
-//! simulator throughput with Criterion.
+//! simulator throughput with a self-contained min-of-N timing harness.
 //!
 //! | target | reproduces |
 //! |---|---|
@@ -29,8 +29,15 @@ use std::time::Instant;
 
 /// Reads a run-count override from `FLASH_RUNS`, defaulting to `default`.
 pub fn runs_from_env(default: u64) -> u64 {
-    std::env::var("FLASH_RUNS")
-        .ok()
+    runs_from_lookup(default, |k| std::env::var(k).ok())
+}
+
+/// [`runs_from_env`] with an injectable environment lookup, so tests can
+/// exercise the parsing without mutating real process environment (which
+/// is unsound with Rust's parallel test runner and made the env test
+/// flaky).
+pub fn runs_from_lookup(default: u64, lookup: impl Fn(&str) -> Option<String>) -> u64 {
+    lookup("FLASH_RUNS")
         .and_then(|s| s.parse().ok())
         .unwrap_or(default)
 }
@@ -71,8 +78,12 @@ mod tests {
 
     #[test]
     fn env_override_parses() {
-        std::env::remove_var("FLASH_RUNS");
-        assert_eq!(runs_from_env(7), 7);
+        // Injectable lookup: no process-env mutation, so this cannot race
+        // with other tests (std::env::set_var/remove_var are process-global).
+        assert_eq!(runs_from_lookup(7, |_| None), 7);
+        assert_eq!(runs_from_lookup(7, |_| Some("12".into())), 12);
+        assert_eq!(runs_from_lookup(7, |_| Some("junk".into())), 7);
+        assert_eq!(runs_from_lookup(7, |_| Some("".into())), 7);
     }
 
     #[test]

@@ -4,12 +4,11 @@
 //! output so results can be plotted or diffed across runs. Files land in
 //! `target/bench-results/<bench>.json`.
 
-use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
 
 /// One benchmark's result sheet: named rows of named numeric columns.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ResultSheet {
     /// Bench target name.
     pub bench: String,
@@ -22,7 +21,7 @@ pub struct ResultSheet {
 }
 
 /// One row of a [`ResultSheet`].
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// Row label (e.g. `"nodes=128"` or `"Node failure"`).
     pub label: String,
@@ -32,11 +31,7 @@ pub struct Row {
 
 impl ResultSheet {
     /// Creates an empty sheet.
-    pub fn new(
-        bench: impl Into<String>,
-        reproduces: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(bench: impl Into<String>, reproduces: impl Into<String>, columns: &[&str]) -> Self {
         ResultSheet {
             bench: bench.into(),
             reproduces: reproduces.into(),
@@ -52,7 +47,10 @@ impl ResultSheet {
     /// Panics if the value count does not match the column count.
     pub fn push(&mut self, label: impl Into<String>, values: &[f64]) {
         assert_eq!(values.len(), self.columns.len(), "row/column mismatch");
-        self.rows.push(Row { label: label.into(), values: values.to_vec() });
+        self.rows.push(Row {
+            label: label.into(),
+            values: values.to_vec(),
+        });
     }
 
     /// Serializes the sheet as pretty JSON.
@@ -64,7 +62,11 @@ impl ResultSheet {
         out.push_str(&format!("  \"reproduces\": {:?},\n", self.reproduces));
         out.push_str(&format!(
             "  \"columns\": [{}],\n",
-            self.columns.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+            self.columns
+                .iter()
+                .map(|c| format!("{c:?}"))
+                .collect::<Vec<_>>()
+                .join(", ")
         ));
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
@@ -80,8 +82,15 @@ impl ResultSheet {
                 })
                 .collect::<Vec<_>>()
                 .join(", ");
-            out.push_str(&format!("    {{\"label\": {:?}, \"values\": [{vals}]}}", row.label));
-            out.push_str(if i + 1 == self.rows.len() { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"label\": {:?}, \"values\": [{vals}]}}",
+                row.label
+            ));
+            out.push_str(if i + 1 == self.rows.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
         }
         out.push_str("  ]\n}\n");
         out

@@ -1,0 +1,383 @@
+//! Fault-schedule representation and the seeded randomized generator.
+//!
+//! A [`Schedule`] is a self-contained, replayable description of one chaos
+//! run: machine size, workload seed, the firewall switch (the deliberate
+//! sabotage knob of the paper's Section 6.2 ablation) and a list of
+//! [`FaultEvent`]s, each pairing a [`FaultSpec`] with an injection point
+//! ([`InjectAt`]). Running the same schedule twice produces bit-identical
+//! simulations, which is what makes seed replay and shrinking possible.
+
+use flash_core::{random_fault, FaultKind};
+use flash_machine::FaultSpec;
+use flash_net::NodeId;
+use flash_sim::DetRng;
+
+/// When, relative to the run, a fault fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectAt {
+    /// During steady-state operation: `offset_ns` after the cache-fill
+    /// prelude completes (machine mode) or after the compiles pass their
+    /// injection threshold (hive mode).
+    Steady {
+        /// Nanoseconds after the steady-state point.
+        offset_ns: u64,
+    },
+    /// Mid-recovery: `delay_ns` after the first node of the current
+    /// incarnation enters recovery phase `phase` (1–4). Fires at most once,
+    /// the first time the phase entry is observed.
+    PhaseEntry {
+        /// Recovery phase, `1..=4`.
+        phase: u8,
+        /// Nanoseconds after the observed phase entry.
+        delay_ns: u64,
+    },
+    /// During the Hive OS recovery pass, after hardware recovery completed
+    /// but before the page service re-initializes incoherent lines (hive
+    /// mode only; treated as a late steady fault in machine mode).
+    DuringOsRecovery,
+}
+
+/// One fault injection of a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When to inject.
+    pub at: InjectAt,
+    /// What to inject.
+    pub fault: FaultSpec,
+}
+
+/// Which harness the schedule drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// The Section 5.2 validation harness: random cache-fill workload,
+    /// oracle validation.
+    Machine,
+    /// The Table 5.4 end-to-end harness: Hive cells running a parallel
+    /// make with a file-server cell.
+    Hive,
+}
+
+/// A complete, replayable chaos-run description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    /// Seed for the machine/workload RNGs (and the generator that built
+    /// this schedule).
+    pub seed: u64,
+    /// Node count.
+    pub n_nodes: usize,
+    /// Harness choice.
+    pub mode: Mode,
+    /// Operations per processor before the first steady fault (machine
+    /// mode).
+    pub fill_ops: u64,
+    /// Total operations per processor (machine mode).
+    pub total_ops: u64,
+    /// The MAGIC firewall switch. `false` is the deliberately seeded bug of
+    /// the Section 6.2 ablation: the dying master's stray write lands in
+    /// another node's memory and the invariant stack must catch it.
+    pub firewall_enabled: bool,
+    /// The fault injections, in generation order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Tunables of the randomized schedule generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Minimum machine size.
+    pub min_nodes: usize,
+    /// Maximum machine size.
+    pub max_nodes: usize,
+    /// Maximum fault events per schedule (at least 1).
+    pub max_events: usize,
+    /// Probability that a follow-up event is armed on a recovery-phase
+    /// entry instead of a steady-state offset.
+    pub phase_fault_chance: f64,
+    /// Probability that an event is a multi-fault ([`FaultSpec::Multi`]).
+    pub multi_chance: f64,
+    /// Probability that a schedule targets the Hive end-to-end harness.
+    pub hive_chance: f64,
+    /// Firewall switch copied into every schedule (see
+    /// [`Schedule::firewall_enabled`]).
+    pub firewall_enabled: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            min_nodes: 8,
+            max_nodes: 16,
+            max_events: 4,
+            phase_fault_chance: 0.5,
+            multi_chance: 0.25,
+            hive_chance: 0.0,
+            firewall_enabled: true,
+        }
+    }
+}
+
+/// Draws one single-fault spec, including the firmware-assertion type the
+/// Table 5.2 harness does not generate. Avoids node 0 so the machine always
+/// keeps a survivor.
+fn single_fault(n_nodes: usize, rng: &mut DetRng) -> FaultSpec {
+    if rng.chance(0.12) {
+        return FaultSpec::FirmwareAssertion(NodeId(1 + rng.below(n_nodes as u64 - 1) as u16));
+    }
+    let kind = *rng.choose(&FaultKind::ALL).expect("ALL is non-empty");
+    random_fault(kind, n_nodes, rng)
+}
+
+/// Generates the deterministic fault schedule for `seed`.
+///
+/// Guarantees:
+/// * the first event is a steady-state *real* fault (so that recovery runs
+///   and phase-armed events have a phase to hit);
+/// * node 0 is never doomed (a survivor always exists);
+/// * the cumulative doomed-node count stays below half the machine, so the
+///   shutdown heuristic never halts a fault-free-by-construction run.
+pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Schedule {
+    let mut rng = DetRng::new(seed ^ 0x00C4_A05C_00C4_A05C);
+    let hive = rng.chance(cfg.hive_chance);
+    let n_nodes = if hive {
+        // Hive runs use 4 cells; keep the node count a multiple of 4.
+        let lo = cfg.min_nodes.div_ceil(4).max(1);
+        let hi = (cfg.max_nodes / 4).max(lo);
+        4 * rng.range_inclusive(lo as u64, hi as u64) as usize
+    } else {
+        rng.range_inclusive(cfg.min_nodes as u64, cfg.max_nodes as u64) as usize
+    };
+    let max_doomed = (n_nodes / 2).saturating_sub(1).max(1);
+    let mut doomed: Vec<NodeId> = Vec::new();
+    let mut events = Vec::new();
+
+    let n_events = 1 + rng.index(cfg.max_events.max(1));
+    for i in 0..n_events {
+        let fault = if i > 0 && rng.chance(cfg.multi_chance) {
+            let members = (0..2 + rng.index(2))
+                .map(|_| single_fault(n_nodes, &mut rng))
+                .collect();
+            FaultSpec::Multi(members)
+        } else if i == 0 {
+            // The opener must actually trigger recovery.
+            loop {
+                let f = single_fault(n_nodes, &mut rng);
+                if !f.is_false_alarm() {
+                    break f;
+                }
+            }
+        } else {
+            single_fault(n_nodes, &mut rng)
+        };
+
+        // Survivor budget: skip events that would doom too much of the
+        // machine.
+        let mut projected = doomed.clone();
+        projected.extend(fault.doomed_nodes());
+        projected.sort_unstable_by_key(|n| n.0);
+        projected.dedup();
+        if projected.len() > max_doomed {
+            continue;
+        }
+        doomed = projected;
+
+        let at = if i == 0 {
+            InjectAt::Steady {
+                offset_ns: rng.below(100_000),
+            }
+        } else if hive && rng.chance(0.2) {
+            InjectAt::DuringOsRecovery
+        } else if rng.chance(cfg.phase_fault_chance) {
+            InjectAt::PhaseEntry {
+                phase: 1 + rng.index(4) as u8,
+                delay_ns: rng.below(50_000),
+            }
+        } else {
+            InjectAt::Steady {
+                offset_ns: rng.below(400_000),
+            }
+        };
+        events.push(FaultEvent { at, fault });
+    }
+
+    Schedule {
+        seed,
+        n_nodes,
+        mode: if hive { Mode::Hive } else { Mode::Machine },
+        fill_ops: 120,
+        total_ops: 350,
+        firewall_enabled: cfg.firewall_enabled,
+        events,
+    }
+}
+
+// ----------------------------------------------------------------------
+// JSON (hand-rolled: the workspace carries no serde)
+// ----------------------------------------------------------------------
+
+/// Escapes a string for embedding in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fault_to_json(f: &FaultSpec) -> String {
+    match f {
+        FaultSpec::Node(n) => format!("{{\"kind\":\"node\",\"node\":{}}}", n.0),
+        FaultSpec::Router(r) => format!("{{\"kind\":\"router\",\"router\":{}}}", r.0),
+        FaultSpec::Link(a, b) => {
+            format!("{{\"kind\":\"link\",\"a\":{},\"b\":{}}}", a.0, b.0)
+        }
+        FaultSpec::InfiniteLoop(n) => {
+            format!("{{\"kind\":\"infinite_loop\",\"node\":{}}}", n.0)
+        }
+        FaultSpec::FirmwareAssertion(n) => {
+            format!("{{\"kind\":\"firmware_assertion\",\"node\":{}}}", n.0)
+        }
+        FaultSpec::FalseAlarm(n) => {
+            format!("{{\"kind\":\"false_alarm\",\"node\":{}}}", n.0)
+        }
+        FaultSpec::Multi(list) => {
+            let members: Vec<String> = list.iter().map(fault_to_json).collect();
+            format!("{{\"kind\":\"multi\",\"members\":[{}]}}", members.join(","))
+        }
+    }
+}
+
+fn inject_to_json(at: &InjectAt) -> String {
+    match at {
+        InjectAt::Steady { offset_ns } => {
+            format!("{{\"when\":\"steady\",\"offset_ns\":{offset_ns}}}")
+        }
+        InjectAt::PhaseEntry { phase, delay_ns } => {
+            format!("{{\"when\":\"phase_entry\",\"phase\":{phase},\"delay_ns\":{delay_ns}}}")
+        }
+        InjectAt::DuringOsRecovery => "{\"when\":\"during_os_recovery\"}".to_string(),
+    }
+}
+
+impl Schedule {
+    /// Renders the schedule as a JSON object (hand-rolled; no serde in the
+    /// workspace).
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"at\":{},\"fault\":{}}}",
+                    inject_to_json(&e.at),
+                    fault_to_json(&e.fault)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"seed\":{},\"n_nodes\":{},\"mode\":\"{}\",\"fill_ops\":{},\"total_ops\":{},\
+             \"firewall_enabled\":{},\"events\":[{}]}}",
+            self.seed,
+            self.n_nodes,
+            match self.mode {
+                Mode::Machine => "machine",
+                Mode::Hive => "hive",
+            },
+            self.fill_ops,
+            self.total_ops,
+            self.firewall_enabled,
+            events.join(",")
+        )
+    }
+
+    /// Union of the nodes doomed by every event of the schedule.
+    pub fn doomed_nodes(&self) -> Vec<NodeId> {
+        let mut doomed: Vec<NodeId> = self
+            .events
+            .iter()
+            .flat_map(|e| e.fault.doomed_nodes())
+            .collect();
+        doomed.sort_unstable_by_key(|n| n.0);
+        doomed.dedup();
+        doomed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..32 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn schedules_always_keep_a_survivor() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..200 {
+            let s = generate(seed, &cfg);
+            let doomed = s.doomed_nodes();
+            assert!(!doomed.contains(&NodeId(0)), "seed {seed}: node 0 doomed");
+            assert!(
+                doomed.len() < s.n_nodes / 2,
+                "seed {seed}: {} of {} nodes doomed",
+                doomed.len(),
+                s.n_nodes
+            );
+            assert!(!s.events.is_empty());
+            assert!(
+                matches!(s.events[0].at, InjectAt::Steady { .. }),
+                "seed {seed}: opener must be steady"
+            );
+            assert!(!s.events[0].fault.is_false_alarm(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn node_counts_respect_bounds() {
+        let cfg = GeneratorConfig::default();
+        for seed in 0..100 {
+            let s = generate(seed, &cfg);
+            assert!((8..=16).contains(&s.n_nodes), "seed {seed}: {}", s.n_nodes);
+        }
+    }
+
+    #[test]
+    fn phase_events_appear_across_a_campaign() {
+        let cfg = GeneratorConfig::default();
+        let mut seen = [false; 4];
+        for seed in 0..300 {
+            for e in &generate(seed, &cfg).events {
+                if let InjectAt::PhaseEntry { phase, .. } = e.at {
+                    seen[phase as usize - 1] = true;
+                }
+            }
+        }
+        assert_eq!(seen, [true; 4], "all four phases must be targetable");
+    }
+
+    #[test]
+    fn json_rendering_covers_every_variant() {
+        let cfg = GeneratorConfig {
+            hive_chance: 0.5,
+            ..GeneratorConfig::default()
+        };
+        for seed in 0..50 {
+            let s = generate(seed, &cfg);
+            let j = s.to_json();
+            assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+            assert!(j.contains("\"events\":["));
+        }
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

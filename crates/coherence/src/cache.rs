@@ -129,7 +129,11 @@ impl L2Cache {
         debug_assert!(self.lookup(addr).is_none(), "line already cached");
         let si = self.set_of(addr);
         let set = &mut self.sets[si];
-        let new = CachedLine { addr, exclusive, version };
+        let new = CachedLine {
+            addr,
+            exclusive,
+            version,
+        };
         // Free way?
         for (w, slot) in set.ways.iter_mut().enumerate() {
             if slot.is_none() {
@@ -247,7 +251,10 @@ mod tests {
     #[test]
     fn insert_lookup_store() {
         let mut c = L2Cache::new(8);
-        assert_eq!(c.insert(LineAddr(1), true, Version(0)), InsertOutcome::Installed);
+        assert_eq!(
+            c.insert(LineAddr(1), true, Version(0)),
+            InsertOutcome::Installed
+        );
         assert_eq!(c.store(LineAddr(1)), Some(Version(1)));
         assert_eq!(c.store(LineAddr(1)), Some(Version(2)));
         assert_eq!(c.lookup(LineAddr(1)).unwrap().version, Version(2));

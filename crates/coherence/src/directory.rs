@@ -58,7 +58,10 @@ pub enum DirState {
 impl DirState {
     /// Whether the line is locked in a transient state (requests are NAK'd).
     pub fn is_locked(&self) -> bool {
-        matches!(self, DirState::PendingInvals { .. } | DirState::PendingRecall { .. })
+        matches!(
+            self,
+            DirState::PendingInvals { .. } | DirState::PendingRecall { .. }
+        )
     }
 }
 
@@ -72,7 +75,9 @@ pub struct Outcome {
 
 impl Outcome {
     fn send(dest: NodeId, msg: CohMsg) -> Outcome {
-        Outcome { sends: vec![(dest, msg)] }
+        Outcome {
+            sends: vec![(dest, msg)],
+        }
     }
 }
 
@@ -178,9 +183,11 @@ impl Directory {
             HomeIn::Get { from } => self.on_get(i, line, from),
             HomeIn::GetX { from } => self.on_getx(i, line, from, true),
             HomeIn::Upgrade { from } => self.on_upgrade(i, line, from),
-            HomeIn::Put { from, version, keep_shared } => {
-                self.on_put(i, line, from, version, keep_shared)
-            }
+            HomeIn::Put {
+                from,
+                version,
+                keep_shared,
+            } => self.on_put(i, line, from, version, keep_shared),
             HomeIn::InvalAck { from } => self.on_inval_ack(i, line, from),
         }
     }
@@ -191,7 +198,11 @@ impl Directory {
                 self.states[i] = DirState::Shared(NodeSet::singleton(from));
                 Outcome::send(
                     from,
-                    CohMsg::Data { line, version: self.versions[i], exclusive: false },
+                    CohMsg::Data {
+                        line,
+                        version: self.versions[i],
+                        exclusive: false,
+                    },
                 )
             }
             DirState::Shared(mut s) => {
@@ -199,13 +210,26 @@ impl Directory {
                 self.states[i] = DirState::Shared(s);
                 Outcome::send(
                     from,
-                    CohMsg::Data { line, version: self.versions[i], exclusive: false },
+                    CohMsg::Data {
+                        line,
+                        version: self.versions[i],
+                        exclusive: false,
+                    },
                 )
             }
             DirState::Exclusive(owner) => {
-                self.states[i] =
-                    DirState::PendingRecall { requester: from, owner, for_write: false };
-                Outcome::send(owner, CohMsg::Fetch { line, for_write: false })
+                self.states[i] = DirState::PendingRecall {
+                    requester: from,
+                    owner,
+                    for_write: false,
+                };
+                Outcome::send(
+                    owner,
+                    CohMsg::Fetch {
+                        line,
+                        for_write: false,
+                    },
+                )
             }
             DirState::PendingInvals { .. } | DirState::PendingRecall { .. } => {
                 self.counters.incr("naks_sent");
@@ -220,12 +244,22 @@ impl Directory {
 
     /// Grants exclusivity to `from`: a data reply for a full miss, or an
     /// upgrade acknowledgment when the requester already holds the data.
-    fn grant_exclusive(&mut self, i: usize, line: LineAddr, from: NodeId, needs_data: bool) -> Outcome {
+    fn grant_exclusive(
+        &mut self,
+        i: usize,
+        line: LineAddr,
+        from: NodeId,
+        needs_data: bool,
+    ) -> Outcome {
         self.states[i] = DirState::Exclusive(from);
         if needs_data {
             Outcome::send(
                 from,
-                CohMsg::Data { line, version: self.versions[i], exclusive: true },
+                CohMsg::Data {
+                    line,
+                    version: self.versions[i],
+                    exclusive: true,
+                },
             )
         } else {
             Outcome::send(from, CohMsg::UpgradeAck { line })
@@ -286,9 +320,18 @@ impl Directory {
                 }
             }
             DirState::Exclusive(owner) => {
-                self.states[i] =
-                    DirState::PendingRecall { requester: from, owner, for_write: true };
-                Outcome::send(owner, CohMsg::Fetch { line, for_write: true })
+                self.states[i] = DirState::PendingRecall {
+                    requester: from,
+                    owner,
+                    for_write: true,
+                };
+                Outcome::send(
+                    owner,
+                    CohMsg::Fetch {
+                        line,
+                        for_write: true,
+                    },
+                )
             }
             DirState::PendingInvals { .. } | DirState::PendingRecall { .. } => {
                 self.counters.incr("naks_sent");
@@ -319,13 +362,21 @@ impl Directory {
                 };
                 Outcome::send(from, CohMsg::PutAck { line })
             }
-            DirState::PendingRecall { requester, owner, for_write } if owner == from => {
+            DirState::PendingRecall {
+                requester,
+                owner,
+                for_write,
+            } if owner == from => {
                 self.versions[i] = version;
                 if for_write {
                     self.states[i] = DirState::Exclusive(requester);
                     Outcome::send(
                         requester,
-                        CohMsg::Data { line, version, exclusive: true },
+                        CohMsg::Data {
+                            line,
+                            version,
+                            exclusive: true,
+                        },
                     )
                 } else {
                     let mut sharers = NodeSet::singleton(requester);
@@ -335,7 +386,11 @@ impl Directory {
                     self.states[i] = DirState::Shared(sharers);
                     Outcome::send(
                         requester,
-                        CohMsg::Data { line, version, exclusive: false },
+                        CohMsg::Data {
+                            line,
+                            version,
+                            exclusive: false,
+                        },
                     )
                 }
             }
@@ -351,13 +406,20 @@ impl Directory {
 
     fn on_inval_ack(&mut self, i: usize, line: LineAddr, from: NodeId) -> Outcome {
         match self.states[i] {
-            DirState::PendingInvals { requester, mut pending, needs_data } => {
+            DirState::PendingInvals {
+                requester,
+                mut pending,
+                needs_data,
+            } => {
                 pending.remove(from);
                 if pending.is_empty() {
                     self.grant_exclusive(i, line, requester, needs_data)
                 } else {
-                    self.states[i] =
-                        DirState::PendingInvals { requester, pending, needs_data };
+                    self.states[i] = DirState::PendingInvals {
+                        requester,
+                        pending,
+                        needs_data,
+                    };
                     Outcome::default()
                 }
             }
@@ -501,7 +563,9 @@ mod tests {
 
     fn data(msg: &CohMsg) -> (Version, bool) {
         match msg {
-            CohMsg::Data { version, exclusive, .. } => (*version, *exclusive),
+            CohMsg::Data {
+                version, exclusive, ..
+            } => (*version, *exclusive),
             other => panic!("expected Data, got {other:?}"),
         }
     }
@@ -574,12 +638,22 @@ mod tests {
         d.handle(l, HomeIn::GetX { from: NodeId(0) });
         let out = d.handle(l, HomeIn::Get { from: NodeId(2) });
         assert_eq!(out.sends[0].0, NodeId(0));
-        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: false, .. }));
+        assert!(matches!(
+            out.sends[0].1,
+            CohMsg::Fetch {
+                for_write: false,
+                ..
+            }
+        ));
         assert!(d.state(l).is_locked());
         // Owner writes back version 5 keeping a shared copy.
         let out = d.handle(
             l,
-            HomeIn::Put { from: NodeId(0), version: Version(5), keep_shared: true },
+            HomeIn::Put {
+                from: NodeId(0),
+                version: Version(5),
+                keep_shared: true,
+            },
         );
         assert_eq!(out.sends[0].0, NodeId(2));
         assert_eq!(data(&out.sends[0].1), (Version(5), false));
@@ -597,10 +671,20 @@ mod tests {
         let (mut d, l) = dir();
         d.handle(l, HomeIn::GetX { from: NodeId(0) });
         let out = d.handle(l, HomeIn::GetX { from: NodeId(3) });
-        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: true, .. }));
+        assert!(matches!(
+            out.sends[0].1,
+            CohMsg::Fetch {
+                for_write: true,
+                ..
+            }
+        ));
         let out = d.handle(
             l,
-            HomeIn::Put { from: NodeId(0), version: Version(9), keep_shared: false },
+            HomeIn::Put {
+                from: NodeId(0),
+                version: Version(9),
+                keep_shared: false,
+            },
         );
         assert_eq!(out.sends[0].0, NodeId(3));
         assert_eq!(data(&out.sends[0].1), (Version(9), true));
@@ -613,7 +697,11 @@ mod tests {
         d.handle(l, HomeIn::GetX { from: NodeId(0) });
         let out = d.handle(
             l,
-            HomeIn::Put { from: NodeId(0), version: Version(3), keep_shared: false },
+            HomeIn::Put {
+                from: NodeId(0),
+                version: Version(3),
+                keep_shared: false,
+            },
         );
         assert!(matches!(out.sends[0].1, CohMsg::PutAck { .. }));
         assert_eq!(d.state(l), DirState::Uncached);
@@ -625,7 +713,11 @@ mod tests {
         let (mut d, l) = dir();
         let out = d.handle(
             l,
-            HomeIn::Put { from: NodeId(2), version: Version(7), keep_shared: false },
+            HomeIn::Put {
+                from: NodeId(2),
+                version: Version(7),
+                keep_shared: false,
+            },
         );
         assert!(matches!(out.sends[0].1, CohMsg::PutAck { .. }));
         assert_eq!(d.mem_version(l), Version::INITIAL);
@@ -651,7 +743,7 @@ mod tests {
         d.handle(LineAddr(1), HomeIn::Get { from: NodeId(1) }); // shared
         d.handle(LineAddr(2), HomeIn::GetX { from: NodeId(1) });
         d.handle(LineAddr(2), HomeIn::Get { from: NodeId(0) }); // pending recall
-        // Line 3: dirty remote, but the flush writeback made it home.
+                                                                // Line 3: dirty remote, but the flush writeback made it home.
         d.handle(LineAddr(3), HomeIn::GetX { from: NodeId(1) });
         d.recovery_put(LineAddr(3), Version(4));
         let marked = d.scan_and_reset();
@@ -719,7 +811,12 @@ mod upgrade_tests {
         // Requester is not in the sharer set (silently evicted copy).
         let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
         match &out.sends[..] {
-            [(dst, CohMsg::Data { exclusive: true, .. })] => assert_eq!(*dst, NodeId(2)),
+            [(
+                dst,
+                CohMsg::Data {
+                    exclusive: true, ..
+                },
+            )] => assert_eq!(*dst, NodeId(2)),
             other => panic!("expected full data grant, got {other:?}"),
         }
         assert_eq!(d.counters().get("upgrade_fallbacks"), 1);
@@ -730,7 +827,13 @@ mod upgrade_tests {
         let (mut d, l) = dir();
         d.handle(l, HomeIn::GetX { from: NodeId(0) });
         let out = d.handle(l, HomeIn::Upgrade { from: NodeId(2) });
-        assert!(matches!(out.sends[0].1, CohMsg::Fetch { for_write: true, .. }));
+        assert!(matches!(
+            out.sends[0].1,
+            CohMsg::Fetch {
+                for_write: true,
+                ..
+            }
+        ));
         assert_eq!(d.counters().get("upgrade_fallbacks"), 1);
     }
 

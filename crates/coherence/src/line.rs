@@ -107,7 +107,10 @@ impl MemLayout {
     /// Panics if either argument is zero.
     pub fn new(n_nodes: usize, lines_per_node: u64) -> Self {
         assert!(n_nodes > 0 && lines_per_node > 0);
-        MemLayout { n_nodes, lines_per_node }
+        MemLayout {
+            n_nodes,
+            lines_per_node,
+        }
     }
 
     /// Creates a layout from a per-node memory size in megabytes.

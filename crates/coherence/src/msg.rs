@@ -155,7 +155,14 @@ impl CohMsg {
     /// Whether this message carries the only valid copy of a line (its loss
     /// makes the line incoherent).
     pub fn carries_sole_copy(&self) -> bool {
-        matches!(self, CohMsg::Put { .. } | CohMsg::Data { exclusive: true, .. })
+        matches!(
+            self,
+            CohMsg::Put { .. }
+                | CohMsg::Data {
+                    exclusive: true,
+                    ..
+                }
+        )
     }
 }
 
@@ -168,11 +175,21 @@ mod tests {
         let l = LineAddr(5);
         assert_eq!(CohMsg::Get { line: l }.flits(), 1);
         assert_eq!(
-            CohMsg::Put { line: l, version: Version(1), keep_shared: false }.flits(),
+            CohMsg::Put {
+                line: l,
+                version: Version(1),
+                keep_shared: false
+            }
+            .flits(),
             9
         );
         assert_eq!(
-            CohMsg::Data { line: l, version: Version(1), exclusive: false }.flits(),
+            CohMsg::Data {
+                line: l,
+                version: Version(1),
+                exclusive: false
+            }
+            .flits(),
             9
         );
         assert_eq!(CohMsg::Get { line: l }.lane(), Lane::Request);
@@ -187,12 +204,23 @@ mod tests {
         let msgs = [
             CohMsg::Get { line: l },
             CohMsg::GetX { line: l },
-            CohMsg::Put { line: l, version: Version(2), keep_shared: false },
+            CohMsg::Put {
+                line: l,
+                version: Version(2),
+                keep_shared: false,
+            },
             CohMsg::PutAck { line: l },
             CohMsg::Inval { line: l },
             CohMsg::InvalAck { line: l },
-            CohMsg::Fetch { line: l, for_write: true },
-            CohMsg::Data { line: l, version: Version(2), exclusive: true },
+            CohMsg::Fetch {
+                line: l,
+                for_write: true,
+            },
+            CohMsg::Data {
+                line: l,
+                version: Version(2),
+                exclusive: true,
+            },
             CohMsg::Nak { line: l },
             CohMsg::IncoherentErr { line: l },
             CohMsg::FirewallErr { line: l },
@@ -205,10 +233,24 @@ mod tests {
     #[test]
     fn sole_copy_carriers() {
         let l = LineAddr(1);
-        assert!(CohMsg::Put { line: l, version: Version(3), keep_shared: false }.carries_sole_copy());
-        assert!(CohMsg::Data { line: l, version: Version(3), exclusive: true }.carries_sole_copy());
-        assert!(!CohMsg::Data { line: l, version: Version(3), exclusive: false }
-            .carries_sole_copy());
+        assert!(CohMsg::Put {
+            line: l,
+            version: Version(3),
+            keep_shared: false
+        }
+        .carries_sole_copy());
+        assert!(CohMsg::Data {
+            line: l,
+            version: Version(3),
+            exclusive: true
+        }
+        .carries_sole_copy());
+        assert!(!CohMsg::Data {
+            line: l,
+            version: Version(3),
+            exclusive: false
+        }
+        .carries_sole_copy());
         assert!(!CohMsg::Get { line: l }.carries_sole_copy());
     }
 }

@@ -108,17 +108,25 @@ impl NodeSet {
 
     /// Whether the two sets intersect.
     pub fn intersects(&self, other: &NodeSet) -> bool {
-        self.bits.iter().zip(other.bits.iter()).any(|(a, b)| a & b != 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Whether `self` is a subset of `other`.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
-        self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a & !b == 0)
+        self.bits
+            .iter()
+            .zip(other.bits.iter())
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates over members in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..Self::CAPACITY as u16).filter(move |&i| self.contains(NodeId(i))).map(NodeId)
+        (0..Self::CAPACITY as u16)
+            .filter(move |&i| self.contains(NodeId(i)))
+            .map(NodeId)
     }
 
     /// The smallest member, if any.

@@ -10,12 +10,18 @@ fn main() {
         for seed in 0..6u64 {
             let mut rng = DetRng::new(seed * 31 + 7);
             let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), seed);
-            cfg.fill_ops = 500; cfg.total_ops = 1200;
+            cfg.fill_ops = 500;
+            cfg.total_ops = 1200;
             let fault = random_fault(kind, 8, &mut rng);
             let out = run_fault_experiment(&cfg, fault.clone());
             if !out.passed() {
                 failures += 1;
-                println!("FAIL {kind:?} seed {seed} {fault:?}: finished={} rec={:?} val={}", out.finished, out.recovery.completed(), out.validation);
+                println!(
+                    "FAIL {kind:?} seed {seed} {fault:?}: finished={} rec={:?} val={}",
+                    out.finished,
+                    out.recovery.completed(),
+                    out.validation
+                );
             }
         }
         println!("{kind:?} done at {:?}", t0.elapsed());
@@ -27,14 +33,17 @@ fn main() {
         let mut params = MachineParams::table_5_1();
         params.n_nodes = n;
         let mut cfg = ExperimentConfig::new(params, 99);
-        cfg.fill_ops = 50; cfg.total_ops = 200;
+        cfg.fill_ops = 50;
+        cfg.total_ops = 200;
         let out = run_fault_experiment(&cfg, FaultSpec::Node(flash_net::NodeId(1)));
         let p = out.recovery.phases;
-        println!("n={n:4} P1={:?} P1-2={:?} P1-3={:?} total={:?} host={:?}",
+        println!(
+            "n={n:4} P1={:?} P1-2={:?} P1-3={:?} total={:?} host={:?}",
             p.p1().map(|d| d.as_millis_f64()),
             p.p1_2().map(|d| d.as_millis_f64()),
             p.p1_3().map(|d| d.as_millis_f64()),
             p.total().map(|d| d.as_millis_f64()),
-            t0.elapsed());
+            t0.elapsed()
+        );
     }
 }

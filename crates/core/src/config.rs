@@ -75,8 +75,8 @@ impl Default for RecoveryConfig {
     fn default() -> Self {
         RecoveryConfig {
             uncached_instr_ns: 400,
-            drop_in_instr: 1_250,      // ~0.5 ms
-            probe_instr: 250,          // ~0.1 ms per probe
+            drop_in_instr: 1_250, // ~0.5 ms
+            probe_instr: 250,     // ~0.1 ms per probe
             ping_timeout: SimDuration::from_micros(1_500),
             ping_retries: 2,
             speculative_pings: true,
@@ -143,6 +143,40 @@ impl PhaseTimes {
     /// Total hardware recovery time.
     pub fn total(&self) -> Option<SimDuration> {
         self.span(self.p4_done)
+    }
+}
+
+/// Machine-wide *first-entry* times of the recovery phases for the current
+/// incarnation. Unlike [`PhaseTimes`], which records when the *last* node
+/// finished each phase, these record when the *first* node entered it —
+/// the moment a fault-injection campaign can arm a mid-phase fault.
+/// Cleared whenever a restart begins a new incarnation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseEntries {
+    /// First node dropped into the recovery code (P1 entry).
+    pub p1: Option<SimTime>,
+    /// First node began information dissemination (P2 entry).
+    pub p2: Option<SimTime>,
+    /// First node began interconnect recovery (P3 entry).
+    pub p3: Option<SimTime>,
+    /// First node began coherence-protocol recovery (P4 entry).
+    pub p4: Option<SimTime>,
+}
+
+impl PhaseEntries {
+    /// The entry time of phase `1..=4`; `None` while not yet entered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phase` is outside `1..=4`.
+    pub fn entered(&self, phase: u8) -> Option<SimTime> {
+        match phase {
+            1 => self.p1,
+            2 => self.p2,
+            3 => self.p3,
+            4 => self.p4,
+            other => panic!("recovery has phases 1..=4, not {other}"),
+        }
     }
 }
 

@@ -8,9 +8,7 @@
 
 use crate::config::{RecoveryConfig, RecoveryReport};
 use crate::ext::RecoveryExt;
-use flash_machine::{
-    FaultSpec, Machine, MachineParams, RandomFill, ValidationReport, Workload,
-};
+use flash_machine::{FaultSpec, Machine, MachineParams, RandomFill, ValidationReport, Workload};
 use flash_net::{NodeId, RouterId};
 use flash_sim::{DetRng, RunOutcome, SimDuration, SimTime};
 

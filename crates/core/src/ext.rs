@@ -25,7 +25,7 @@
 //! *incarnation* number that spreads with the ping wave; stale-incarnation
 //! messages are discarded.
 
-use crate::config::{RecoveryConfig, RecoveryReport};
+use crate::config::{PhaseEntries, RecoveryConfig, RecoveryReport};
 use crate::msg::{BarrierId, RecMsg};
 use crate::view::{Tree, View};
 use flash_coherence::NodeSet;
@@ -215,6 +215,7 @@ pub struct RecoveryExt {
     units: Option<Vec<NodeSet>>,
     /// Execution summary.
     pub report: RecoveryReport,
+    entries: PhaseEntries,
     max_inc: u32,
     active: bool,
     started: HashSet<u16>,
@@ -233,6 +234,7 @@ impl RecoveryExt {
             design: None,
             units: None,
             report: RecoveryReport::default(),
+            entries: PhaseEntries::default(),
             max_inc: 0,
             active: false,
             started: HashSet::new(),
@@ -265,11 +267,18 @@ impl RecoveryExt {
         self.max_inc
     }
 
+    /// Machine-wide first-entry times of the recovery phases for the
+    /// current incarnation (reset when a restart begins a new one).
+    /// External drivers — fault campaigns in particular — poll this
+    /// between run slices to arm faults *inside* a chosen phase.
+    pub fn phase_entries(&self) -> PhaseEntries {
+        self.entries
+    }
+
     fn design(&mut self, st: &St) -> UGraph {
-        if self.design.is_none() {
-            self.design = Some(st.fabric.design_graph().clone());
-        }
-        self.design.clone().expect("set above")
+        self.design
+            .get_or_insert_with(|| st.fabric.design_graph().clone())
+            .clone()
     }
 
     // ------------------------------------------------------------------
@@ -333,15 +342,29 @@ impl RecoveryExt {
             self.done_p2.clear();
             self.done_p3.clear();
             self.done_p4.clear();
+            self.entries = PhaseEntries::default();
+        }
+        if self.entries.p1.is_none() {
+            self.entries.p1 = Some(sched.now());
         }
         if !self.active {
             self.active = true;
+            // A fresh trigger after an earlier *completed* recovery opens a
+            // new episode: `phases` always describes the most recent one.
+            // (Restarts within an episode keep `active` and only clear the
+            // per-node completion sets above.)
+            if self.report.phases.p4_done.is_some() {
+                self.report.phases = crate::PhaseTimes::default();
+            }
             self.report.phases.triggered_at = Some(sched.now());
         }
         st.counters.incr("recovery_starts");
         st.trace.record(
             sched.now(),
-            flash_machine::TraceEvent::Note("recovery_start(node,inc)", ((node as u64) << 32) | inc as u64),
+            flash_machine::TraceEvent::Note(
+                "recovery_start(node,inc)",
+                ((node as u64) << 32) | inc as u64,
+            ),
         );
         self.started.insert(node);
         if self.report.wave_complete_at.is_none() && self.done_for_all(st, &self.started.clone()) {
@@ -357,10 +380,17 @@ impl RecoveryExt {
         // ~5x faster trigger wave of Section 4.2.
         if self.cfg.speculative_pings {
             let own_router = RouterId(node);
-            let nbrs: Vec<RouterId> =
-                st.fabric.neighbors(own_router).iter().map(|n| n.router).collect();
+            let nbrs: Vec<RouterId> = st
+                .fabric
+                .neighbors(own_router)
+                .iter()
+                .map(|n| n.router)
+                .collect();
             for nbr in nbrs {
-                let ping = RecMsg::Ping { inc, reply_route: vec![own_router] };
+                let ping = RecMsg::Ping {
+                    inc,
+                    reply_route: vec![own_router],
+                };
                 st.send_recovery(
                     NodeId(node),
                     NodeId(nbr.0),
@@ -375,12 +405,23 @@ impl RecoveryExt {
         self.nodes[node as usize].phase = Phase::DropIn;
         sched.after(
             self.cfg.instr(self.cfg.drop_in_instr),
-            Ev::Ext(RecEv::StepDone { node, inc, step: Step::DropIn }),
+            Ev::Ext(RecEv::StepDone {
+                node,
+                inc,
+                step: Step::DropIn,
+            }),
         );
     }
 
     /// Expands cwn exploration through router `r` (reached via `route`).
-    fn expand(&mut self, st: &mut St, node: u16, r: RouterId, route: Vec<RouterId>, sched: Sched<'_, '_>) {
+    fn expand(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        r: RouterId,
+        route: Vec<RouterId>,
+        sched: Sched<'_, '_>,
+    ) {
         let nbrs: Vec<(usize, RouterId)> = st
             .fabric
             .neighbors(r)
@@ -410,8 +451,7 @@ impl RecoveryExt {
                     self.nodes[node as usize].view.set_link_up(r, s);
                     let mut ping_route = route.clone();
                     ping_route.push(s);
-                    let mut reply_route: Vec<RouterId> =
-                        route.iter().rev().copied().collect();
+                    let mut reply_route: Vec<RouterId> = route.iter().rev().copied().collect();
                     reply_route.push(RouterId(node));
                     let ping = RecMsg::Ping { inc, reply_route };
                     st.send_recovery(
@@ -422,12 +462,20 @@ impl RecoveryExt {
                         ping,
                         sched,
                     );
-                    self.nodes[node as usize]
-                        .pending_pings
-                        .insert(s.0, PingState { route: ping_route, retries: 0 });
+                    self.nodes[node as usize].pending_pings.insert(
+                        s.0,
+                        PingState {
+                            route: ping_route,
+                            retries: 0,
+                        },
+                    );
                     sched.after(
                         self.cfg.ping_timeout,
-                        Ev::Ext(RecEv::PingDeadline { node, target: s.0, inc }),
+                        Ev::Ext(RecEv::PingDeadline {
+                            node,
+                            target: s.0,
+                            inc,
+                        }),
                     );
                 }
             }
@@ -443,6 +491,9 @@ impl RecoveryExt {
         // Exploration complete: enter dissemination round 1.
         self.nodes[node as usize].phase = Phase::Dissem;
         self.nodes[node as usize].round = 1;
+        if self.entries.p2.is_none() {
+            self.entries.p2 = Some(sched.now());
+        }
         self.done_p1.insert(node);
         self.mark_phase_progress(st, sched.now());
         self.bump_progress(st, node, sched);
@@ -467,12 +518,7 @@ impl RecoveryExt {
                 .unwrap_or_default();
             // Reply route: reverse the forward route, replacing the final
             // hop with our own router.
-            let mut reply_route: Vec<RouterId> = fwd
-                .iter()
-                .rev()
-                .skip(1)
-                .copied()
-                .collect();
+            let mut reply_route: Vec<RouterId> = fwd.iter().rev().skip(1).copied().collect();
             reply_route.push(own_router);
             let msg = RecMsg::Exchange {
                 inc,
@@ -500,10 +546,10 @@ impl RecoveryExt {
         let mut changed = false;
         let mut hint_seen = None;
         for m in &cwn {
-            let (v, hint) = self.nodes[node as usize]
-                .inbox
-                .remove(&(*m, round))
-                .expect("checked above");
+            let removed = self.nodes[node as usize].inbox.remove(&(*m, round));
+            let Some((v, hint)) = removed else {
+                st.invariant_failure("dissemination inbox entry vanished between check and merge");
+            };
             if self.nodes[node as usize].view.merge(&v) {
                 changed = true;
             }
@@ -512,8 +558,8 @@ impl RecoveryExt {
             }
         }
         let n = st.num_nodes() as u64;
-        let mut cost = self.cfg.merge_base_instr
-            + cwn.len() as u64 * self.cfg.merge_per_node_instr * n;
+        let mut cost =
+            self.cfg.merge_base_instr + cwn.len() as u64 * self.cfg.merge_per_node_instr * n;
         // Stabilized and no bound yet: compute it (unless a hint arrived and
         // hints are enabled — the deferred-BFT optimization).
         let rec = &mut self.nodes[node as usize];
@@ -540,7 +586,11 @@ impl RecoveryExt {
         self.nodes[node as usize].computing_round = true;
         sched.after(
             self.cfg.instr(cost),
-            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Round { round } }),
+            Ev::Ext(RecEv::StepDone {
+                node,
+                inc,
+                step: Step::Round { round },
+            }),
         );
     }
 
@@ -574,6 +624,9 @@ impl RecoveryExt {
         );
         self.done_p2.insert(node);
         self.mark_phase_progress(st, sched.now());
+        if self.entries.p3.is_none() {
+            self.entries.p3 = Some(sched.now());
+        }
         let design = self.design(st);
         let rec = &self.nodes[node as usize];
         let inc = rec.inc;
@@ -600,7 +653,15 @@ impl RecoveryExt {
         self.nodes[node as usize].tree = Some(tree);
         self.nodes[node as usize].bars = BarrierId::ALL
             .iter()
-            .map(|&id| (id, BarState { ok: true, ..BarState::default() }))
+            .map(|&id| {
+                (
+                    id,
+                    BarState {
+                        ok: true,
+                        ..BarState::default()
+                    },
+                )
+            })
             .collect();
         // Process any barrier joins that raced ahead of us.
         let stashed = std::mem::take(&mut self.nodes[node as usize].stashed_ups);
@@ -614,7 +675,11 @@ impl RecoveryExt {
         self.nodes[node as usize].phase = Phase::Isolate;
         sched.after(
             self.cfg.instr(self.cfg.isolate_instr),
-            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Isolate }),
+            Ev::Ext(RecEv::StepDone {
+                node,
+                inc,
+                step: Step::Isolate,
+            }),
         );
     }
 
@@ -702,6 +767,9 @@ impl RecoveryExt {
         if self.report.p4_started_at.is_none() {
             self.report.p4_started_at = Some(sched.now());
         }
+        if self.entries.p4.is_none() {
+            self.entries.p4 = Some(sched.now());
+        }
         st.nodes[node as usize].mode = MagicMode::Recovery;
         // With HAL-style end-to-end interconnect reliability the flush step
         // is eliminated (paper, Section 6.3); caches stay warm and the
@@ -718,7 +786,11 @@ impl RecoveryExt {
         self.bump_progress(st, node, sched);
         sched.after(
             flash_sim::SimDuration::from_nanos(walk_ns),
-            Ev::Ext(RecEv::StepDone { node, inc, step: Step::FlushWalk }),
+            Ev::Ext(RecEv::StepDone {
+                node,
+                inc,
+                step: Step::FlushWalk,
+            }),
         );
     }
 
@@ -749,15 +821,19 @@ impl RecoveryExt {
             st.nodes[node as usize].dir.scan_and_reset()
         };
         self.report.lines_marked_incoherent += marked.len() as u64;
-        st.counters.add("lines_marked_incoherent", marked.len() as u64);
-        let scan_ns = st.layout.lines_per_node()
-            * st.params.magic.costs.dir_scan_per_line_ns;
+        st.counters
+            .add("lines_marked_incoherent", marked.len() as u64);
+        let scan_ns = st.layout.lines_per_node() * st.params.magic.costs.dir_scan_per_line_ns;
         let inc = self.nodes[node as usize].inc;
         self.nodes[node as usize].phase = Phase::Scan;
         self.bump_progress(st, node, sched);
         sched.after(
             flash_sim::SimDuration::from_nanos(scan_ns),
-            Ev::Ext(RecEv::StepDone { node, inc, step: Step::Scan }),
+            Ev::Ext(RecEv::StepDone {
+                node,
+                inc,
+                step: Step::Scan,
+            }),
         );
     }
 
@@ -792,13 +868,23 @@ impl RecoveryExt {
     // Barriers
     // ------------------------------------------------------------------
 
-    fn join_barrier(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+    fn join_barrier(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        id: BarrierId,
+        ok: bool,
+        sched: Sched<'_, '_>,
+    ) {
         self.nodes[node as usize].phase = Phase::InBarrier(id);
         {
             let bar = self.nodes[node as usize]
                 .bars
                 .entry(id)
-                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+                .or_insert_with(|| BarState {
+                    ok: true,
+                    ..BarState::default()
+                });
             if bar.self_joined {
                 return;
             }
@@ -809,7 +895,15 @@ impl RecoveryExt {
         self.maybe_send_up(st, node, id, sched);
     }
 
-    fn on_bar_up(&mut self, st: &mut St, node: u16, from: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+    fn on_bar_up(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        from: u16,
+        id: BarrierId,
+        ok: bool,
+        sched: Sched<'_, '_>,
+    ) {
         if self.nodes[node as usize].tree.is_none() {
             self.nodes[node as usize].stashed_ups.push((from, id, ok));
             return;
@@ -818,7 +912,10 @@ impl RecoveryExt {
             let bar = self.nodes[node as usize]
                 .bars
                 .entry(id)
-                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+                .or_insert_with(|| BarState {
+                    ok: true,
+                    ..BarState::default()
+                });
             bar.ups.insert(from);
             bar.ok &= ok;
         }
@@ -826,13 +923,18 @@ impl RecoveryExt {
     }
 
     fn maybe_send_up(&mut self, st: &mut St, node: u16, id: BarrierId, sched: Sched<'_, '_>) {
-        let Some(tree) = self.nodes[node as usize].tree.clone() else { return };
+        let Some(tree) = self.nodes[node as usize].tree.clone() else {
+            return;
+        };
         let children: Vec<u16> = tree.children[node as usize].iter().map(|c| c.0).collect();
         let (joined, have_all, ok, released) = {
             let bar = self.nodes[node as usize]
                 .bars
                 .entry(id)
-                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+                .or_insert_with(|| BarState {
+                    ok: true,
+                    ..BarState::default()
+                });
             (
                 bar.self_joined,
                 children.iter().all(|c| bar.ups.contains(c)),
@@ -863,18 +965,30 @@ impl RecoveryExt {
         }
     }
 
-    fn release_barrier(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+    fn release_barrier(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        id: BarrierId,
+        ok: bool,
+        sched: Sched<'_, '_>,
+    ) {
         {
             let bar = self.nodes[node as usize]
                 .bars
                 .entry(id)
-                .or_insert_with(|| BarState { ok: true, ..BarState::default() });
+                .or_insert_with(|| BarState {
+                    ok: true,
+                    ..BarState::default()
+                });
             if bar.released {
                 return;
             }
             bar.released = true;
         }
-        let Some(tree) = self.nodes[node as usize].tree.clone() else { return };
+        let Some(tree) = self.nodes[node as usize].tree.clone() else {
+            return;
+        };
         let inc = self.nodes[node as usize].inc;
         for c in &tree.children[node as usize] {
             let msg = RecMsg::BarDown { inc, id, ok };
@@ -883,11 +997,25 @@ impl RecoveryExt {
         self.on_barrier_complete(st, node, id, ok, sched);
     }
 
-    fn on_bar_down(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+    fn on_bar_down(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        id: BarrierId,
+        ok: bool,
+        sched: Sched<'_, '_>,
+    ) {
         self.release_barrier(st, node, id, ok, sched);
     }
 
-    fn on_barrier_complete(&mut self, st: &mut St, node: u16, id: BarrierId, ok: bool, sched: Sched<'_, '_>) {
+    fn on_barrier_complete(
+        &mut self,
+        st: &mut St,
+        node: u16,
+        id: BarrierId,
+        ok: bool,
+        sched: Sched<'_, '_>,
+    ) {
         self.bump_progress(st, node, sched);
         match id {
             BarrierId::Drain1 => {
@@ -906,7 +1034,11 @@ impl RecoveryExt {
                     let n = st.num_nodes() as u64;
                     sched.after(
                         self.cfg.instr(self.cfg.route_per_node_instr * n),
-                        Ev::Ext(RecEv::StepDone { node, inc, step: Step::RouteCompute }),
+                        Ev::Ext(RecEv::StepDone {
+                            node,
+                            inc,
+                            step: Step::RouteCompute,
+                        }),
                     );
                 } else {
                     // Stalled traffic was still moving: restart the
@@ -914,8 +1046,20 @@ impl RecoveryExt {
                     // experiments either, but supported).
                     st.counters.incr("drain_agreement_restarts");
                     let bars = &mut self.nodes[node as usize].bars;
-                    bars.insert(BarrierId::Drain1, BarState { ok: true, ..BarState::default() });
-                    bars.insert(BarrierId::Drain2, BarState { ok: true, ..BarState::default() });
+                    bars.insert(
+                        BarrierId::Drain1,
+                        BarState {
+                            ok: true,
+                            ..BarState::default()
+                        },
+                    );
+                    bars.insert(
+                        BarrierId::Drain2,
+                        BarState {
+                            ok: true,
+                            ..BarState::default()
+                        },
+                    );
                     self.start_drain_wait(st, node, sched);
                 }
             }
@@ -957,7 +1101,13 @@ impl Extension for RecoveryExt {
     type Msg = RecMsg;
     type Ev = RecEv;
 
-    fn on_trigger(&mut self, st: &mut St, node: NodeId, trig: Trigger, sched: &mut Scheduler<'_, Ev<RecEv>>) {
+    fn on_trigger(
+        &mut self,
+        st: &mut St,
+        node: NodeId,
+        trig: Trigger,
+        sched: &mut Scheduler<'_, Ev<RecEv>>,
+    ) {
         if !st.nodes[node.index()].is_alive() {
             return;
         }
@@ -968,7 +1118,11 @@ impl Extension for RecoveryExt {
                 // Concurrent independent triggers (many nodes timing out on
                 // the same dead home) join the active incarnation; a fresh
                 // fault after a completed recovery starts a new one.
-                let inc = if self.active { self.max_inc.max(1) } else { self.max_inc + 1 };
+                let inc = if self.active {
+                    self.max_inc.max(1)
+                } else {
+                    self.max_inc + 1
+                };
                 self.start(st, node.0, inc, sched);
             }
             Phase::Shut => {}
@@ -1046,18 +1200,22 @@ impl Extension for RecoveryExt {
                 if self.nodes[node as usize].inc != inc {
                     return;
                 }
-                let Some(ping) = self.nodes[node as usize].pending_pings.get(&target).cloned()
+                let Some(ping) = self.nodes[node as usize]
+                    .pending_pings
+                    .get(&target)
+                    .cloned()
                 else {
                     return;
                 };
                 if ping.retries < self.cfg.ping_retries {
                     // Retry.
                     let route = ping.route.clone();
-                    self.nodes[node as usize]
-                        .pending_pings
-                        .get_mut(&target)
-                        .expect("present")
-                        .retries += 1;
+                    match self.nodes[node as usize].pending_pings.get_mut(&target) {
+                        Some(p) => p.retries += 1,
+                        None => st.invariant_failure(
+                            "ping retry state vanished between check and update",
+                        ),
+                    }
                     let mut reply_route: Vec<RouterId> =
                         route.iter().rev().skip(1).copied().collect();
                     reply_route.push(RouterId(node));
@@ -1076,10 +1234,10 @@ impl Extension for RecoveryExt {
                     );
                 } else {
                     // Declared failed: explore through its router.
-                    let ping = self.nodes[node as usize]
-                        .pending_pings
-                        .remove(&target)
-                        .expect("present");
+                    let removed = self.nodes[node as usize].pending_pings.remove(&target);
+                    let Some(ping) = removed else {
+                        st.invariant_failure("ping state vanished before failure declaration");
+                    };
                     self.nodes[node as usize].view.set_node_down(NodeId(target));
                     if ping.route.len() < MAX_SOURCE_HOPS {
                         self.expand(st, node, RouterId(target), ping.route, sched);
@@ -1135,15 +1293,15 @@ impl Extension for RecoveryExt {
         // Adopt newer incarnations; drop stale ones (except pings, which get
         // a reply telling the sender our newer incarnation).
         let idle_join = self.nodes[at.index()].phase == Phase::Idle && msg_inc > 0 && self.active;
-        if (msg_inc > my_inc || idle_join)
-            && !matches!(self.nodes[at.index()].phase, Phase::Shut)
-        {
+        if (msg_inc > my_inc || idle_join) && !matches!(self.nodes[at.index()].phase, Phase::Shut) {
             self.start(st, at.0, msg_inc.max(my_inc), sched);
         }
         let my_inc = self.nodes[at.index()].inc;
         match msg {
             RecMsg::Ping { inc, reply_route } => {
-                let reply = RecMsg::PingReply { inc: my_inc.max(inc) };
+                let reply = RecMsg::PingReply {
+                    inc: my_inc.max(inc),
+                };
                 st.send_recovery(at, from, reply_route, Lane::Recovery0, reply, sched);
             }
             RecMsg::PingReply { inc } => {
@@ -1170,10 +1328,18 @@ impl Extension for RecoveryExt {
                 {
                     // Reply to a speculative ping from a direct neighbor.
                     let rec = &mut self.nodes[at.index()];
-                    rec.routes.entry(from.0).or_insert_with(|| vec![RouterId(from.0)]);
+                    rec.routes
+                        .entry(from.0)
+                        .or_insert_with(|| vec![RouterId(from.0)]);
                 }
             }
-            RecMsg::Exchange { inc, round, view, hint, reply_route } => {
+            RecMsg::Exchange {
+                inc,
+                round,
+                view,
+                hint,
+                reply_route,
+            } => {
                 if inc != my_inc {
                     return;
                 }

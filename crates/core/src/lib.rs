@@ -41,7 +41,7 @@ mod ext;
 mod msg;
 mod view;
 
-pub use config::{PhaseTimes, RecoveryConfig, RecoveryReport};
+pub use config::{PhaseEntries, PhaseTimes, RecoveryConfig, RecoveryReport};
 pub use experiment::{
     build_machine, mesh_width, random_fault, run_fault_experiment, ExperimentConfig,
     ExperimentOutcome, FaultKind, FcMachine,

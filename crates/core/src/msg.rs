@@ -105,15 +105,29 @@ mod tests {
     fn inc_accessor() {
         assert_eq!(RecMsg::PingReply { inc: 3 }.inc(), 3);
         assert_eq!(
-            RecMsg::Ping { inc: 7, reply_route: vec![] }.inc(),
+            RecMsg::Ping {
+                inc: 7,
+                reply_route: vec![]
+            }
+            .inc(),
             7
         );
         assert_eq!(
-            RecMsg::BarUp { inc: 2, id: BarrierId::Flush, ok: true }.inc(),
+            RecMsg::BarUp {
+                inc: 2,
+                id: BarrierId::Flush,
+                ok: true
+            }
+            .inc(),
             2
         );
         assert_eq!(
-            RecMsg::BarDown { inc: 4, id: BarrierId::Scan, ok: false }.inc(),
+            RecMsg::BarDown {
+                inc: 4,
+                id: BarrierId::Scan,
+                ok: false
+            }
+            .inc(),
             4
         );
         let ex = RecMsg::Exchange {

@@ -403,7 +403,9 @@ mod tests {
         v.set_node_down(NodeId(1));
         let g = v.cwn_graph(&design(3, 1));
         assert_eq!(g.neighbors(0), &[2]);
-        let route = v.route_between(&design(3, 1), NodeId(0), NodeId(2)).unwrap();
+        let route = v
+            .route_between(&design(3, 1), NodeId(0), NodeId(2))
+            .unwrap();
         assert_eq!(route, vec![RouterId(1), RouterId(2)]);
     }
 
@@ -517,7 +519,9 @@ mod center_bound_tests {
         }
         let d = design(6, 6);
         let g = v.cwn_graph(&d);
-        let alive: Vec<bool> = (0..36u16).map(|i| v.live_nodes().contains(NodeId(i))).collect();
+        let alive: Vec<bool> = (0..36u16)
+            .map(|i| v.live_nodes().contains(NodeId(i)))
+            .collect();
         let diam = g.exact_diameter(&alive);
         let center = v.round_bound_center(&d);
         assert!(center >= diam, "{center} >= {diam}");

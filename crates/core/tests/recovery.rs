@@ -15,7 +15,11 @@ fn tiny_cfg(seed: u64) -> ExperimentConfig {
 fn node_failure_recovers_and_validates() {
     let outcome = run_fault_experiment(&tiny_cfg(1), FaultSpec::Node(NodeId(2)));
     assert!(outcome.finished, "machine quiesced");
-    assert!(outcome.recovery.completed(), "recovery ran: {:?}", outcome.recovery);
+    assert!(
+        outcome.recovery.completed(),
+        "recovery ran: {:?}",
+        outcome.recovery
+    );
     assert!(
         outcome.validation.passed(),
         "validation: {} overmarked={:?} corrupted={:?}",
@@ -30,13 +34,23 @@ fn node_failure_recovers_and_validates() {
 #[test]
 fn router_failure_recovers_and_validates() {
     let outcome = run_fault_experiment(&tiny_cfg(2), FaultSpec::Router(RouterId(1)));
-    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    assert!(
+        outcome.passed(),
+        "{:?} / {}",
+        outcome.recovery,
+        outcome.validation
+    );
 }
 
 #[test]
 fn link_failure_recovers_and_validates() {
     let outcome = run_fault_experiment(&tiny_cfg(3), FaultSpec::Link(RouterId(0), RouterId(1)));
-    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    assert!(
+        outcome.passed(),
+        "{:?} / {}",
+        outcome.recovery,
+        outcome.validation
+    );
     // No node died: everyone resumes.
     assert_eq!(outcome.recovery.nodes_resumed, 4);
 }
@@ -44,14 +58,24 @@ fn link_failure_recovers_and_validates() {
 #[test]
 fn infinite_loop_recovers_and_validates() {
     let outcome = run_fault_experiment(&tiny_cfg(4), FaultSpec::InfiniteLoop(NodeId(3)));
-    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    assert!(
+        outcome.passed(),
+        "{:?} / {}",
+        outcome.recovery,
+        outcome.validation
+    );
     assert_eq!(outcome.recovery.nodes_resumed, 3);
 }
 
 #[test]
 fn false_alarm_causes_no_data_loss() {
     let outcome = run_fault_experiment(&tiny_cfg(5), FaultSpec::FalseAlarm(NodeId(0)));
-    assert!(outcome.passed(), "{:?} / {}", outcome.recovery, outcome.validation);
+    assert!(
+        outcome.passed(),
+        "{:?} / {}",
+        outcome.recovery,
+        outcome.validation
+    );
     // The sole effect of a false alarm is a brief interruption: nothing is
     // marked incoherent and all nodes resume.
     assert_eq!(outcome.recovery.lines_marked_incoherent, 0);

@@ -6,16 +6,32 @@ use flash_net::NodeId;
 fn main() {
     let t0 = std::time::Instant::now();
     // Table 5.4 style: 8 cells, inject node failures at random victims.
-    let mut ok = 0; let mut total = 0;
+    let mut ok = 0;
+    let mut total = 0;
     for seed in 0..8u64 {
         let params = MachineParams::table_5_1();
         let victim = NodeId(1 + (seed % 7) as u16);
-        let out = run_parallel_make(params, &HiveConfig::default(), RecoveryConfig::default(), Some(FaultSpec::Node(victim)), seed);
+        let out = run_parallel_make(
+            params,
+            &HiveConfig::default(),
+            RecoveryConfig::default(),
+            Some(FaultSpec::Node(victim)),
+            seed,
+        );
         total += 1;
         let pass = out.finished && out.unaffected_all_completed();
-        if pass { ok += 1; } else {
-            println!("seed {seed} victim {victim:?}: finished={} rec={} compiles={:?}", out.finished, out.recovery.completed(),
-                out.compiles.iter().map(|c| (c.cell, c.state, c.affected)).collect::<Vec<_>>());
+        if pass {
+            ok += 1;
+        } else {
+            println!(
+                "seed {seed} victim {victim:?}: finished={} rec={} compiles={:?}",
+                out.finished,
+                out.recovery.completed(),
+                out.compiles
+                    .iter()
+                    .map(|c| (c.cell, c.state, c.affected))
+                    .collect::<Vec<_>>()
+            );
         }
     }
     println!("table5.4-style: {ok}/{total} ok in {:?}", t0.elapsed());
@@ -25,13 +41,25 @@ fn main() {
         let mut params = MachineParams::table_5_1();
         params.n_nodes = n;
         params.mem_mb_per_node = 16;
-        let hive = HiveConfig { n_cells: n, ..HiveConfig::default() };
-        let out = run_parallel_make(params, &hive, RecoveryConfig::default(), Some(FaultSpec::Node(NodeId(1))), 77);
-        println!("n={n:3} hw={:?}ms os={:.2}ms total={:?}ms unaffected_ok={} reinit={}",
+        let hive = HiveConfig {
+            n_cells: n,
+            ..HiveConfig::default()
+        };
+        let out = run_parallel_make(
+            params,
+            &hive,
+            RecoveryConfig::default(),
+            Some(FaultSpec::Node(NodeId(1))),
+            77,
+        );
+        println!(
+            "n={n:3} hw={:?}ms os={:.2}ms total={:?}ms unaffected_ok={} reinit={}",
             out.recovery.phases.total().map(|d| d.as_millis_f64()),
             out.os_time.as_millis_f64(),
             out.suspension_time().map(|d| d.as_millis_f64()),
-            out.unaffected_all_completed(), out.lines_reinitialized);
+            out.unaffected_all_completed(),
+            out.lines_reinitialized
+        );
     }
     println!("host {:?}", t0.elapsed());
     let _ = TaskState::Completed;

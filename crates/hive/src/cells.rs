@@ -25,7 +25,10 @@ impl CellLayout {
     ///
     /// Panics unless `n_cells` divides `n_nodes`.
     pub fn contiguous(n_nodes: usize, n_cells: usize) -> Self {
-        assert!(n_cells > 0 && n_nodes.is_multiple_of(n_cells), "cells must divide nodes evenly");
+        assert!(
+            n_cells > 0 && n_nodes.is_multiple_of(n_cells),
+            "cells must divide nodes evenly"
+        );
         let per = n_nodes / n_cells;
         let mut cells = Vec::with_capacity(n_cells);
         let mut cell_of = vec![0u16; n_nodes];

@@ -78,8 +78,7 @@ pub fn run_parallel_make(
     let placement = os::configure(&mut m, &layout, hive);
 
     let lines_per_node = m.st().layout.lines_per_node();
-    let client_nodes: Vec<NodeId> =
-        (1..hive.n_cells).map(|c| layout.boot_node(c)).collect();
+    let client_nodes: Vec<NodeId> = (1..hive.n_cells).map(|c| layout.boot_node(c)).collect();
     // Every node hosts a slice of its cell's kernel; peers poll the first
     // kernel line of every other node (Hive cells read each other's kernel
     // structures, and a cell's own kernel spans all its nodes — Section
@@ -97,9 +96,8 @@ pub fn run_parallel_make(
         };
         // The server's background activity also dirties the shared file
         // data, creating cross-cell recall traffic.
-        st.nodes[server.index()].workload = Box::new(
-            ServerLoop::new(placement.server_data, 20_000).with_monitor(peers_of(server)),
-        );
+        st.nodes[server.index()].workload =
+            Box::new(ServerLoop::new(placement.server_data, 20_000).with_monitor(peers_of(server)));
         for &client in &client_nodes {
             let own = os::own_region(client, lines_per_node, params.protected_lines);
             let task = CompileTask::new(
@@ -175,7 +173,11 @@ pub fn run_parallel_make(
 
     // OS recovery (Section 4.6): page reinitialization + modeled cost.
     let failed_cells = layout.failed_cells(&m.st().failed_nodes);
-    let lines_reinitialized = if fault.is_some() { os::os_recover(&mut m) } else { 0 };
+    let lines_reinitialized = if fault.is_some() {
+        os::os_recover(&mut m)
+    } else {
+        0
+    };
     let live_cells = hive.n_cells - failed_cells.len();
     let os_time = if fault.is_some() {
         hive.os_recovery_time(live_cells)
@@ -189,8 +191,7 @@ pub fn run_parallel_make(
         .enumerate()
         .map(|(i, &node)| {
             let cell = i + 1;
-            let (state, files_done) =
-                os::task_result(&m, node).unwrap_or((TaskState::Running, 0));
+            let (state, files_done) = os::task_result(&m, node).unwrap_or((TaskState::Running, 0));
             CompileOutcome {
                 cell,
                 state,
@@ -255,8 +256,12 @@ mod tests {
         );
         assert!(out.finished);
         assert!(out.recovery.completed(), "{:?}", out.recovery);
-        let affected: Vec<usize> =
-            out.compiles.iter().filter(|c| c.affected).map(|c| c.cell).collect();
+        let affected: Vec<usize> = out
+            .compiles
+            .iter()
+            .filter(|c| c.affected)
+            .map(|c| c.cell)
+            .collect();
         assert_eq!(affected, vec![2]);
         assert!(out.unaffected_all_completed(), "{:?}", out.compiles);
         assert!(out.suspension_time().is_some());

@@ -51,4 +51,4 @@ mod task;
 pub use cells::CellLayout;
 pub use experiment::{run_parallel_make, CompileOutcome, EndToEndOutcome};
 pub use os::{HiveConfig, HivePlacement};
-pub use task::{CompileTask, ServerLoop, TaskState};
+pub use task::{CompileTask, RpcAudit, ServerLoop, TaskState};

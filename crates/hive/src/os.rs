@@ -98,7 +98,11 @@ pub struct HivePlacement {
 /// placement used by the tasks.
 pub fn configure(m: &mut FcMachine, layout: &CellLayout, _cfg: &HiveConfig) -> HivePlacement {
     let n_nodes = m.st().num_nodes();
-    assert_eq!(layout.num_nodes(), n_nodes, "cell layout must match machine");
+    assert_eq!(
+        layout.num_nodes(),
+        n_nodes,
+        "cell layout must match machine"
+    );
     // Failure units drive clean cell shutdown in the recovery algorithm.
     m.ext_mut().set_failure_units(layout.units());
 
@@ -124,7 +128,9 @@ pub fn configure(m: &mut FcMachine, layout: &CellLayout, _cfg: &HiveConfig) -> H
             // (its exactly-once semantics are provided end-to-end by the
             // Hive RPC subsystem, Section 3.3).
             if node == server {
-                st.nodes[i].io_guard.set_allowed(NodeSet::all_below(n_nodes));
+                st.nodes[i]
+                    .io_guard
+                    .set_allowed(NodeSet::all_below(n_nodes));
             } else {
                 st.nodes[i].io_guard.set_allowed(members);
             }
@@ -140,9 +146,10 @@ pub fn configure(m: &mut FcMachine, layout: &CellLayout, _cfg: &HiveConfig) -> H
     let scratch_line = data_hi;
     {
         let st = m.st_mut();
-        st.nodes[server.index()]
-            .firewall
-            .restrict(flash_coherence::LineAddr(scratch_line).page(), NodeSet::all_below(n_nodes));
+        st.nodes[server.index()].firewall.restrict(
+            flash_coherence::LineAddr(scratch_line).page(),
+            NodeSet::all_below(n_nodes),
+        );
     }
     HivePlacement {
         server_data: (data_lo, data_hi),
@@ -152,11 +159,7 @@ pub fn configure(m: &mut FcMachine, layout: &CellLayout, _cfg: &HiveConfig) -> H
 
 /// The private output region of a cell's boot node (its own memory, away
 /// from the vector replica and the MAGIC-protected tail).
-pub fn own_region(
-    node: NodeId,
-    lines_per_node: u64,
-    protected_lines: u64,
-) -> (u64, u64) {
+pub fn own_region(node: NodeId, lines_per_node: u64, protected_lines: u64) -> (u64, u64) {
     let base = node.index() as u64 * lines_per_node;
     let lo = base + LINES_PER_PAGE;
     let hi = base + lines_per_node - protected_lines;
@@ -220,7 +223,10 @@ mod tests {
         };
         // Per file: open + 3 reads + compute + 2 writes + close = 8.
         assert_eq!(cfg.ops_per_task(), 16);
-        let with_cross = HiveConfig { cross_writes: true, ..cfg };
+        let with_cross = HiveConfig {
+            cross_writes: true,
+            ..cfg
+        };
         assert_eq!(with_cross.ops_per_task(), 18);
     }
 
@@ -230,8 +236,7 @@ mod tests {
         let t2 = cfg.os_recovery_time(2);
         let t16 = cfg.os_recovery_time(16);
         assert!(t16 > t2);
-        let delta =
-            t16.as_nanos() - t2.as_nanos();
+        let delta = t16.as_nanos() - t2.as_nanos();
         assert_eq!(delta, 14 * cfg.os_per_cell_instr * cfg.uncached_instr_ns);
     }
 

@@ -35,6 +35,37 @@ pub enum TaskState {
     Failed,
 }
 
+/// Client-side accounting of the exactly-once Hive RPC protocol (Section
+/// 3.3): every RPC the task issues is tracked through its outcome, so a
+/// campaign invariant can check that recovery neither lost nor duplicated
+/// a logical RPC.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RpcAudit {
+    /// RPC operations issued, *including* retransmissions of attempts cut
+    /// by a recovery.
+    pub attempts: u64,
+    /// RPC operations that completed successfully — exactly one per
+    /// logical RPC under exactly-once semantics.
+    pub completed: u64,
+    /// Attempts whose outcome was unresolved across a recovery (each is
+    /// followed by exactly one retransmission).
+    pub unresolved: u64,
+    /// Logical RPCs a fully-completed task performs (open + close per
+    /// file).
+    pub expected: u64,
+}
+
+impl RpcAudit {
+    /// The accounting identity at quiescence: every attempt either
+    /// completed or was cut by recovery and retransmitted. Mid-run (or
+    /// when the issuing processor died) one attempt may still be in
+    /// flight.
+    pub fn balanced(&self, in_flight_slack: u64) -> bool {
+        self.attempts >= self.completed + self.unresolved
+            && self.attempts - (self.completed + self.unresolved) <= in_flight_slack
+    }
+}
+
 /// One modeled compile job. See the module docs.
 #[derive(Clone, Debug)]
 pub struct CompileTask {
@@ -65,6 +96,7 @@ pub struct CompileTask {
     last_was_rpc: bool,
     rpc_retry_pending: bool,
     ops_issued: u64,
+    rpc: RpcAudit,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +146,10 @@ impl CompileTask {
             last_was_rpc: false,
             rpc_retry_pending: false,
             ops_issued: 0,
+            rpc: RpcAudit {
+                expected: 2 * files_total as u64,
+                ..RpcAudit::default()
+            },
         }
     }
 
@@ -138,6 +174,11 @@ impl CompileTask {
         self.first_error
     }
 
+    /// The exactly-once RPC accounting for this task.
+    pub fn rpc_audit(&self) -> RpcAudit {
+        self.rpc
+    }
+
     fn pick(&self, range: (u64, u64), rng: &mut DetRng) -> LineAddr {
         LineAddr(rng.range_inclusive(range.0, range.1 - 1))
     }
@@ -153,19 +194,23 @@ impl Workload for CompileTask {
     }
 
     fn next_op(&mut self, _node: NodeId, rng: &mut DetRng) -> ProcOp {
+        // An RPC whose outcome was unresolved across a recovery is
+        // retransmitted by the end-to-end Hive RPC protocol (Section 3.3;
+        // sequence numbers at the server deduplicate re-executions). This
+        // covers the final close too: a task is only allowed to halt once
+        // its last RPC is acknowledged.
+        if self.rpc_retry_pending && self.state != TaskState::Failed {
+            self.ops_issued += 1;
+            self.rpc_retry_pending = false;
+            self.last_was_monitor = false;
+            self.last_was_rpc = true;
+            self.rpc.attempts += 1;
+            return ProcOp::UncachedRead { dev: self.server };
+        }
         if self.state != TaskState::Running {
             return ProcOp::Halt;
         }
         self.ops_issued += 1;
-        // An RPC whose outcome was unresolved across a recovery is
-        // retransmitted by the end-to-end Hive RPC protocol (Section 3.3;
-        // sequence numbers at the server deduplicate re-executions).
-        if self.rpc_retry_pending {
-            self.rpc_retry_pending = false;
-            self.last_was_monitor = false;
-            self.last_was_rpc = true;
-            return ProcOp::UncachedRead { dev: self.server };
-        }
         // Every 16th operation is an inter-cell kernel monitor read.
         if !self.monitor.is_empty() && self.ops_issued.is_multiple_of(16) {
             self.last_was_monitor = true;
@@ -174,6 +219,9 @@ impl Workload for CompileTask {
         }
         self.last_was_monitor = false;
         self.last_was_rpc = matches!(self.step, Step::Open | Step::Close);
+        if self.last_was_rpc {
+            self.rpc.attempts += 1;
+        }
         match self.step {
             Step::Open => {
                 self.step = Step::Read(0);
@@ -219,25 +267,33 @@ impl Workload for CompileTask {
 
     fn on_result(&mut self, _node: NodeId, result: OpResult) {
         self.ops_done += 1;
-        if let OpResult::BusError(err) = result {
-            if self.last_was_monitor {
-                // Kernel-handled: reading a failed cell's structures after
-                // recovery raises a bus error the kernel absorbs.
-                return;
+        match result {
+            OpResult::Ok(_) => {
+                if self.last_was_rpc {
+                    self.rpc.completed += 1;
+                }
             }
-            if self.last_was_rpc
-                && matches!(err, flash_magic::BusError::UncachedUnresolved)
-                && self.state == TaskState::Running
-            {
-                // The RPC's fate is unknown after recovery: the end-to-end
-                // protocol retransmits it.
-                self.rpc_retry_pending = true;
-                return;
+            OpResult::BusError(err) => {
+                if self.last_was_monitor {
+                    // Kernel-handled: reading a failed cell's structures
+                    // after recovery raises a bus error the kernel absorbs.
+                    return;
+                }
+                if self.last_was_rpc
+                    && matches!(err, flash_magic::BusError::UncachedUnresolved)
+                    && self.state != TaskState::Failed
+                {
+                    // The RPC's fate is unknown after recovery: the
+                    // end-to-end protocol retransmits it.
+                    self.rpc.unresolved += 1;
+                    self.rpc_retry_pending = true;
+                    return;
+                }
+                if self.first_error.is_none() {
+                    self.first_error = Some(err);
+                }
+                self.state = TaskState::Failed;
             }
-            if self.first_error.is_none() {
-                self.first_error = Some(err);
-            }
-            self.state = TaskState::Failed;
         }
     }
 }
@@ -260,7 +316,11 @@ pub struct ServerLoop {
 impl ServerLoop {
     /// Creates the server workload touching its own lines every `period_ns`.
     pub fn new(own_data: (u64, u64), period_ns: u64) -> Self {
-        ServerLoop { own_data, period_ns, monitor: Vec::new() }
+        ServerLoop {
+            own_data,
+            period_ns,
+            monitor: Vec::new(),
+        }
     }
 
     /// Installs the peer-cell kernel lines polled between operations.
@@ -277,7 +337,9 @@ impl Workload for ServerLoop {
             return ProcOp::Read(LineAddr(line));
         }
         if rng.chance(0.5) {
-            ProcOp::Write(LineAddr(rng.range_inclusive(self.own_data.0, self.own_data.1 - 1)))
+            ProcOp::Write(LineAddr(
+                rng.range_inclusive(self.own_data.0, self.own_data.1 - 1),
+            ))
         } else {
             ProcOp::Compute(self.period_ns)
         }
@@ -299,7 +361,10 @@ mod tests {
         let mut rng = DetRng::new(1);
         let me = NodeId(1);
         // File 1: open, 3 reads, compute, 2 writes, cross-write, close.
-        assert!(matches!(t.next_op(me, &mut rng), ProcOp::UncachedRead { .. }));
+        assert!(matches!(
+            t.next_op(me, &mut rng),
+            ProcOp::UncachedRead { .. }
+        ));
         for _ in 0..3 {
             match t.next_op(me, &mut rng) {
                 ProcOp::Read(l) => assert!(l.0 < 10),
@@ -314,7 +379,10 @@ mod tests {
             }
         }
         assert_eq!(t.next_op(me, &mut rng), ProcOp::Write(LineAddr(5)));
-        assert!(matches!(t.next_op(me, &mut rng), ProcOp::UncachedRead { .. }));
+        assert!(matches!(
+            t.next_op(me, &mut rng),
+            ProcOp::UncachedRead { .. }
+        ));
         assert_eq!(t.files_done(), 1);
         assert_eq!(t.state(), TaskState::Running);
         // File 2 runs to completion.

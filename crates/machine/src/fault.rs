@@ -31,15 +31,22 @@ pub enum FaultSpec {
 
 impl FaultSpec {
     /// The nodes this fault removes from service (ground truth for the
-    /// oracle); empty for link failures and false alarms.
+    /// oracle); empty for link failures and false alarms. Each doomed node
+    /// appears once, even when several members of a [`FaultSpec::Multi`]
+    /// hit the same node (e.g. its MAGIC and its router failing together).
     pub fn doomed_nodes(&self) -> Vec<NodeId> {
         match self {
-            FaultSpec::Node(n)
-            | FaultSpec::InfiniteLoop(n)
-            | FaultSpec::FirmwareAssertion(n) => vec![*n],
+            FaultSpec::Node(n) | FaultSpec::InfiniteLoop(n) | FaultSpec::FirmwareAssertion(n) => {
+                vec![*n]
+            }
             FaultSpec::Router(r) => vec![NodeId(r.0)],
             FaultSpec::Link(..) | FaultSpec::FalseAlarm(_) => vec![],
-            FaultSpec::Multi(list) => list.iter().flat_map(|f| f.doomed_nodes()).collect(),
+            FaultSpec::Multi(list) => {
+                let mut doomed: Vec<NodeId> = list.iter().flat_map(|f| f.doomed_nodes()).collect();
+                doomed.sort_unstable_by_key(|n| n.0);
+                doomed.dedup();
+                doomed
+            }
         }
     }
 
@@ -64,9 +71,17 @@ mod tests {
             FaultSpec::FirmwareAssertion(NodeId(2)).doomed_nodes(),
             vec![NodeId(2)]
         );
-        assert_eq!(FaultSpec::InfiniteLoop(NodeId(1)).doomed_nodes(), vec![NodeId(1)]);
-        assert_eq!(FaultSpec::Router(RouterId(2)).doomed_nodes(), vec![NodeId(2)]);
-        assert!(FaultSpec::Link(RouterId(0), RouterId(1)).doomed_nodes().is_empty());
+        assert_eq!(
+            FaultSpec::InfiniteLoop(NodeId(1)).doomed_nodes(),
+            vec![NodeId(1)]
+        );
+        assert_eq!(
+            FaultSpec::Router(RouterId(2)).doomed_nodes(),
+            vec![NodeId(2)]
+        );
+        assert!(FaultSpec::Link(RouterId(0), RouterId(1))
+            .doomed_nodes()
+            .is_empty());
         assert!(FaultSpec::FalseAlarm(NodeId(0)).doomed_nodes().is_empty());
         let multi = FaultSpec::Multi(vec![
             FaultSpec::Node(NodeId(1)),
@@ -74,6 +89,64 @@ mod tests {
             FaultSpec::Router(RouterId(4)),
         ]);
         assert_eq!(multi.doomed_nodes(), vec![NodeId(1), NodeId(4)]);
+    }
+
+    #[test]
+    fn multi_doomed_nodes_dedup_overlapping_members() {
+        // A node's MAGIC and its router failing together doom the node once.
+        let multi = FaultSpec::Multi(vec![
+            FaultSpec::Node(NodeId(1)),
+            FaultSpec::Router(RouterId(1)),
+            FaultSpec::InfiniteLoop(NodeId(1)),
+        ]);
+        assert_eq!(multi.doomed_nodes(), vec![NodeId(1)]);
+        // Dedup is order-insensitive and keeps distinct victims sorted.
+        let multi = FaultSpec::Multi(vec![
+            FaultSpec::Router(RouterId(5)),
+            FaultSpec::Node(NodeId(2)),
+            FaultSpec::Node(NodeId(5)),
+        ]);
+        assert_eq!(multi.doomed_nodes(), vec![NodeId(2), NodeId(5)]);
+    }
+
+    #[test]
+    fn multi_composition_of_link_and_false_alarm_dooms_nobody() {
+        let multi = FaultSpec::Multi(vec![
+            FaultSpec::Link(RouterId(0), RouterId(1)),
+            FaultSpec::FalseAlarm(NodeId(3)),
+        ]);
+        assert!(multi.doomed_nodes().is_empty());
+        // A link failure is a real fault, so the composition is not a
+        // false alarm even though it dooms no node.
+        assert!(!multi.is_false_alarm());
+    }
+
+    #[test]
+    fn nested_multi_false_alarm_detection() {
+        // Nested Multis of pure false alarms are still a false alarm.
+        let nested = FaultSpec::Multi(vec![
+            FaultSpec::FalseAlarm(NodeId(0)),
+            FaultSpec::Multi(vec![
+                FaultSpec::FalseAlarm(NodeId(1)),
+                FaultSpec::FalseAlarm(NodeId(2)),
+            ]),
+        ]);
+        assert!(nested.is_false_alarm());
+        // One real fault anywhere in the nesting breaks the property.
+        let nested = FaultSpec::Multi(vec![
+            FaultSpec::FalseAlarm(NodeId(0)),
+            FaultSpec::Multi(vec![
+                FaultSpec::FalseAlarm(NodeId(1)),
+                FaultSpec::Link(RouterId(0), RouterId(1)),
+            ]),
+        ]);
+        assert!(!nested.is_false_alarm());
+        // Nested doomed nodes dedup across levels.
+        let nested = FaultSpec::Multi(vec![
+            FaultSpec::Node(NodeId(4)),
+            FaultSpec::Multi(vec![FaultSpec::Router(RouterId(4))]),
+        ]);
+        assert_eq!(nested.doomed_nodes(), vec![NodeId(4)]);
     }
 
     #[test]

@@ -189,12 +189,20 @@ pub struct MachineState<R> {
 }
 
 impl<R: Clone + std::fmt::Debug> MachineState<R> {
-    fn new(params: MachineParams, mut make_workload: impl FnMut(NodeId) -> Box<dyn Workload>, seed: u64) -> Self {
+    fn new(
+        params: MachineParams,
+        mut make_workload: impl FnMut(NodeId) -> Box<dyn Workload>,
+        seed: u64,
+    ) -> Self {
         let layout = params.layout();
         let fabric = match params.topology {
             TopologyKind::Mesh2D => {
                 let topo = Mesh2D::roughly_square(params.n_nodes);
-                assert_eq!(topo.num_nodes(), params.n_nodes, "n_nodes must factor into a mesh");
+                assert_eq!(
+                    topo.num_nodes(),
+                    params.n_nodes,
+                    "n_nodes must factor into a mesh"
+                );
                 Fabric::new(&topo, params.net)
             }
             TopologyKind::Hypercube => {
@@ -211,7 +219,13 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         let nodes = (0..params.n_nodes)
             .map(|i| {
                 let id = NodeId(i as u16);
-                NodeCtx::new(id, &params, layout, make_workload(id), root_rng.fork(i as u64))
+                NodeCtx::new(
+                    id,
+                    &params,
+                    layout,
+                    make_workload(id),
+                    root_rng.fork(i as u64),
+                )
             })
             .collect();
         MachineState {
@@ -230,6 +244,30 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Reports a broken internal invariant: dumps the recent event trace to
+    /// stderr (the post-mortem a bare `unwrap` would discard) and panics
+    /// with `what`. Used by the hot-path and recovery-path accessors below
+    /// in place of silent `expect`s.
+    #[track_caller]
+    pub fn invariant_failure(&self, what: &str) -> ! {
+        eprintln!("machine invariant violated: {what}");
+        eprintln!(
+            "--- recent trace (oldest first) ---\n{}",
+            self.trace.render()
+        );
+        panic!("machine invariant violated: {what}");
+    }
+
+    /// Unwraps an `Option` that an invariant guarantees is `Some`; on
+    /// violation, dumps the trace and panics with `what`.
+    #[track_caller]
+    pub fn invariant_some<T>(&self, value: Option<T>, what: &str) -> T {
+        match value {
+            Some(v) => v,
+            None => self.invariant_failure(what),
+        }
     }
 
     /// Nodes that are operational according to ground truth.
@@ -254,7 +292,13 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
             // handler completes — handler occupancy (e.g. the firewall's
             // ACL check) is therefore part of the reply latency.
             let at = node.occupancy.busy_until().max(sched.now());
-            sched.at(at, Ev::Pump { node: from.0, lane: lane_idx as u8 });
+            sched.at(
+                at,
+                Ev::Pump {
+                    node: from.0,
+                    lane: lane_idx as u8,
+                },
+            );
         }
     }
 
@@ -284,7 +328,11 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         msg: UncMsg,
         sched: &mut Scheduler<'_, Ev<E>>,
     ) {
-        let lane = if msg.is_reply() { Lane::Reply } else { Lane::Request };
+        let lane = if msg.is_reply() {
+            Lane::Reply
+        } else {
+            Lane::Request
+        };
         let pkt = OutPkt {
             dst: to,
             flits: msg.flits(),
@@ -309,8 +357,17 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         msg: R,
         sched: &mut Scheduler<'_, Ev<E>>,
     ) {
-        assert!(!lane.is_coherence(), "recovery traffic uses dedicated lanes");
-        let pkt = OutPkt { dst: to, flits: 1, lane, payload: Payload::Rec(msg), route: Some(hops) };
+        assert!(
+            !lane.is_coherence(),
+            "recovery traffic uses dedicated lanes"
+        );
+        let pkt = OutPkt {
+            dst: to,
+            flits: 1,
+            lane,
+            payload: Payload::Rec(msg),
+            route: Some(hops),
+        };
         self.queue_send(from, pkt, sched);
     }
 
@@ -352,8 +409,8 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
             })
             .collect();
         for (line, owner) in entries {
-            let owner_failed = self.failed_nodes.contains(owner)
-                || !self.nodes[owner.index()].is_alive();
+            let owner_failed =
+                self.failed_nodes.contains(owner) || !self.nodes[owner.index()].is_alive();
             // A shared-flagged copy does not satisfy the flush (only dirty
             // lines are written back), so an owner holding the line merely
             // shared — an upgrade grant still in flight — counts as lacking.
@@ -477,7 +534,11 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         for l in dirty {
             let home = self.layout.home_of(l.addr);
             if self.nodes[node.index()].node_map.is_available(home) {
-                let put = CohMsg::Put { line: l.addr, version: l.version, keep_shared: false };
+                let put = CohMsg::Put {
+                    line: l.addr,
+                    version: l.version,
+                    keep_shared: false,
+                };
                 self.send_coh(node, home, put, sched);
                 sent += 1;
             }
@@ -504,7 +565,9 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         let n = self.fabric.num_routers();
         for d in 0..n as u16 {
             if dead.contains(NodeId(d)) {
-                self.fabric.tables_mut().set(router, RouterId(d), flash_net::Hop::Discard);
+                self.fabric
+                    .tables_mut()
+                    .set(router, RouterId(d), flash_net::Hop::Discard);
             }
         }
         // Neighboring dead-controller nodes (router alive, MAGIC dead or
@@ -625,8 +688,10 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                         }
                     }
                     _ => {
-                        let effective =
-                            dirty.get(&line).copied().unwrap_or(node.dir.mem_version(line));
+                        let effective = dirty
+                            .get(&line)
+                            .copied()
+                            .unwrap_or(node.dir.mem_version(line));
                         if effective != self.oracle.expected_version(line) {
                             report.corrupted.push(line);
                         }
@@ -699,7 +764,12 @@ impl<X: Extension> World for MachineWorld<X> {
                 if !self.st.nodes[node as usize].is_alive() {
                     return;
                 }
-                if let ProcState::WaitMiss { line, write, epoch: e } = proc {
+                if let ProcState::WaitMiss {
+                    line,
+                    write,
+                    epoch: e,
+                } = proc
+                {
                     if e == epoch {
                         resend_miss(&mut self.st, node, line, write, sched);
                     }
@@ -708,7 +778,9 @@ impl<X: Extension> World for MachineWorld<X> {
             Ev::Pump { node, lane } => pump(&mut self.st, node, lane, sched),
             Ev::Fault(spec) => {
                 self.st.counters.incr("faults_injected");
-                self.st.trace.record(sched.now(), TraceEvent::Fault(spec.clone()));
+                self.st
+                    .trace
+                    .record(sched.now(), TraceEvent::Fault(spec.clone()));
                 self.st.apply_fault(&spec, sched.now());
                 let mut singles: Vec<&FaultSpec> = Vec::new();
                 match &spec {
@@ -718,22 +790,17 @@ impl<X: Extension> World for MachineWorld<X> {
                 for f in singles {
                     match f {
                         FaultSpec::FalseAlarm(n) => {
-                            self.ext.on_trigger(&mut self.st, *n, Trigger::FalseAlarm, sched);
+                            self.ext
+                                .on_trigger(&mut self.st, *n, Trigger::FalseAlarm, sched);
                         }
                         FaultSpec::FirmwareAssertion(n) => {
                             // Fail-fast: the controller raises the trigger,
                             // its dying-gasp pings spread the wave, and a
                             // microsecond later it halts for good.
-                            self.ext.on_trigger(
-                                &mut self.st,
-                                *n,
-                                Trigger::AssertionFailure,
-                                sched,
-                            );
-                            sched.after(
-                                SimDuration::from_micros(1),
-                                Ev::Fault(FaultSpec::Node(*n)),
-                            );
+                            self.ext
+                                .on_trigger(&mut self.st, *n, Trigger::AssertionFailure, sched);
+                            sched
+                                .after(SimDuration::from_micros(1), Ev::Fault(FaultSpec::Node(*n)));
                         }
                         _ => {}
                     }
@@ -741,9 +808,13 @@ impl<X: Extension> World for MachineWorld<X> {
             }
             Ev::TriggerNow { node, trig } => {
                 if self.st.nodes[node as usize].is_alive() {
-                    self.st
-                        .trace
-                        .record(sched.now(), TraceEvent::Trigger { node: NodeId(node), trig });
+                    self.st.trace.record(
+                        sched.now(),
+                        TraceEvent::Trigger {
+                            node: NodeId(node),
+                            trig,
+                        },
+                    );
                     self.ext.on_trigger(&mut self.st, NodeId(node), trig, sched);
                 }
             }
@@ -862,10 +933,9 @@ fn process_coh<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                     } else {
                         0
                     };
-                    st.nodes[n as usize].occupancy.occupy(
-                        now,
-                        SimDuration::from_nanos(costs.getx_ns + fw_cost),
-                    );
+                    st.nodes[n as usize]
+                        .occupancy
+                        .occupy(now, SimDuration::from_nanos(costs.getx_ns + fw_cost));
                     if !st.nodes[n as usize].firewall.may_write(line.page(), from) {
                         st.counters.incr("firewall_denials");
                         st.send_coh(NodeId(n), from, CohMsg::FirewallErr { line }, sched);
@@ -886,11 +956,19 @@ fn process_coh<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                     CohMsg::Get { .. } => HomeIn::Get { from },
                     CohMsg::GetX { .. } => HomeIn::GetX { from },
                     CohMsg::UpgradeReq { .. } => HomeIn::Upgrade { from },
-                    CohMsg::Put { version, keep_shared, .. } => {
-                        HomeIn::Put { from, version, keep_shared }
-                    }
+                    CohMsg::Put {
+                        version,
+                        keep_shared,
+                        ..
+                    } => HomeIn::Put {
+                        from,
+                        version,
+                        keep_shared,
+                    },
                     CohMsg::InvalAck { .. } => HomeIn::InvalAck { from },
-                    _ => unreachable!(),
+                    other => st.invariant_failure(&format!(
+                        "home-side dispatch reached a cache-side message: {other:?}"
+                    )),
                 };
                 let outcome = st.nodes[n as usize].dir.handle(line, input);
                 for (dst, reply) in outcome.sends {
@@ -911,14 +989,20 @@ fn process_coh<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                     st.counters.incr("drained_requests");
                 }
             }
-            MagicMode::Dead | MagicMode::InfiniteLoop => unreachable!("not serviced"),
+            MagicMode::Dead | MagicMode::InfiniteLoop => {
+                st.invariant_failure("coherence message serviced by a dead or looping MAGIC")
+            }
         }
         return;
     }
 
     // Cache-side message.
     match msg {
-        CohMsg::Data { line, version, exclusive } => {
+        CohMsg::Data {
+            line,
+            version,
+            exclusive,
+        } => {
             st.nodes[n as usize]
                 .occupancy
                 .occupy(now, SimDuration::from_nanos(costs.data_ns));
@@ -941,7 +1025,8 @@ fn process_coh<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                     // invalidation so it is honored when the data installs
                     // (otherwise a stale shared copy could linger).
                     if matches!(node.proc, ProcState::WaitMiss { line: l, .. } if l == line) {
-                        node.pending_remote.insert(line, crate::node::PendingRemote::Inval);
+                        node.pending_remote
+                            .insert(line, crate::node::PendingRemote::Inval);
                     }
                 }
                 st.send_coh(NodeId(n), home, CohMsg::InvalAck { line }, sched);
@@ -961,18 +1046,30 @@ fn process_coh<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                     // version equals memory, so the home completes the
                     // recall consistently (this arises when an upgrade's
                     // acknowledgment was lost across a recovery).
-                    let put = CohMsg::Put { line, version: l.version, keep_shared: false };
+                    let put = CohMsg::Put {
+                        line,
+                        version: l.version,
+                        keep_shared: false,
+                    };
                     st.send_coh(NodeId(n), home, put, sched);
                     return;
                 }
             } else if let Some(version) = node.cache.downgrade(line) {
-                let put = CohMsg::Put { line, version, keep_shared: true };
+                let put = CohMsg::Put {
+                    line,
+                    version,
+                    keep_shared: true,
+                };
                 st.send_coh(NodeId(n), home, put, sched);
                 return;
             } else if let Some(l) = node.cache.lookup(line).copied() {
                 // Already shared (downgrade returned None): answer the read
                 // recall from the clean copy we keep.
-                let put = CohMsg::Put { line, version: l.version, keep_shared: true };
+                let put = CohMsg::Put {
+                    line,
+                    version: l.version,
+                    keep_shared: true,
+                };
                 st.send_coh(NodeId(n), home, put, sched);
                 return;
             }
@@ -1042,7 +1139,11 @@ fn on_data_reply<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
         // trusted copy — MAGIC returns it to the home as a writeback instead
         // of dropping it, so a false alarm loses no data (paper, §4.1).
         if exclusive {
-            let put = CohMsg::Put { line, version, keep_shared: false };
+            let put = CohMsg::Put {
+                line,
+                version,
+                keep_shared: false,
+            };
             st.send_coh(NodeId(n), home, put, sched);
         }
         return;
@@ -1064,16 +1165,19 @@ fn on_data_reply<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
         }
     }
     let speculative = st.nodes[n as usize].current_is_speculative;
-    let node = &mut st.nodes[n as usize];
     if write && !speculative {
         debug_assert!(exclusive, "store completion requires an exclusive grant");
-        let v = node.cache.store(line).expect("exclusive line accepts store");
+        let stored = st.nodes[n as usize].cache.store(line);
+        let v = st.invariant_some(stored, "data reply: exclusive line must accept the store");
         st.oracle.record_store(line, v);
     }
     // A speculative grant installs exclusive with unmodified data: the
     // processor discarded the wrong-path store, but the node now holds the
     // only trusted copy (Section 3.3's hazard).
-    st.counters.add("speculative_exclusive_grants", u64::from(write && speculative));
+    st.counters.add(
+        "speculative_exclusive_grants",
+        u64::from(write && speculative),
+    );
     let node = &mut st.nodes[n as usize];
     let latency = sched.now().since(node.op_issued_at);
     if write {
@@ -1108,12 +1212,20 @@ fn on_data_reply<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
             if for_write {
                 if let Some(l) = node.cache.invalidate(line) {
                     if l.exclusive {
-                        let put = CohMsg::Put { line, version: l.version, keep_shared: false };
+                        let put = CohMsg::Put {
+                            line,
+                            version: l.version,
+                            keep_shared: false,
+                        };
                         st.send_coh(NodeId(n), home, put, sched);
                     }
                 }
             } else if let Some(v) = node.cache.downgrade(line) {
-                let put = CohMsg::Put { line, version: v, keep_shared: true };
+                let put = CohMsg::Put {
+                    line,
+                    version: v,
+                    keep_shared: true,
+                };
                 st.send_coh(NodeId(n), home, put, sched);
             }
         }
@@ -1139,7 +1251,10 @@ fn on_nak<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
     };
     if node.naks.record_nak(threshold) {
         st.counters.incr("nak_overflows");
-        sched.immediately(Ev::TriggerNow { node: n, trig: Trigger::NakOverflow { line } });
+        sched.immediately(Ev::TriggerNow {
+            node: n,
+            trig: Trigger::NakOverflow { line },
+        });
     } else {
         sched.after(
             SimDuration::from_nanos(st.params.magic.nak_retry_ns),
@@ -1176,8 +1291,13 @@ fn bus_error_completion<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
     node.current_op = None;
     node.workload.on_result(NodeId(n), OpResult::BusError(err));
     st.counters.incr("bus_errors");
-    st.trace
-        .record(sched.now(), TraceEvent::BusErrorRaised { node: NodeId(n), err });
+    st.trace.record(
+        sched.now(),
+        TraceEvent::BusErrorRaised {
+            node: NodeId(n),
+            err,
+        },
+    );
     let resume = st.nodes[n as usize].occupancy.busy_until();
     sched.at(resume, Ev::ProcNext(n));
 }
@@ -1221,15 +1341,15 @@ fn process_unc<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
         }
         UncMsg::ReadReply { tag, value } => {
             let node = &mut st.nodes[n as usize];
-            let waiting =
-                matches!(node.proc, ProcState::WaitUncached { tag: t, write: false, .. } if t == tag);
+            let waiting = matches!(node.proc, ProcState::WaitUncached { tag: t, write: false, .. } if t == tag);
             if waiting {
                 node.uncached.complete_read(tag);
                 let latency = sched.now().since(node.op_issued_at);
                 node.lat_uncached.record(latency);
                 node.proc = ProcState::Ready;
                 node.current_op = None;
-                node.workload.on_result(NodeId(n), OpResult::Ok(Some(value)));
+                node.workload
+                    .on_result(NodeId(n), OpResult::Ok(Some(value)));
                 let resume = node.occupancy.busy_until();
                 sched.at(resume, Ev::ProcNext(n));
             } else if node.uncached.deliver_late(tag, value) {
@@ -1240,8 +1360,7 @@ fn process_unc<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
         }
         UncMsg::WriteAck { tag } => {
             let node = &mut st.nodes[n as usize];
-            let waiting =
-                matches!(node.proc, ProcState::WaitUncached { tag: t, write: true, .. } if t == tag);
+            let waiting = matches!(node.proc, ProcState::WaitUncached { tag: t, write: true, .. } if t == tag);
             if waiting {
                 node.proc = ProcState::Ready;
                 node.current_op = None;
@@ -1252,8 +1371,7 @@ fn process_unc<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
         }
         UncMsg::IoDenied { tag } => {
             let node = &mut st.nodes[n as usize];
-            let waiting =
-                matches!(node.proc, ProcState::WaitUncached { tag: t, .. } if t == tag);
+            let waiting = matches!(node.proc, ProcState::WaitUncached { tag: t, .. } if t == tag);
             if waiting {
                 node.bus_errors += 1;
                 node.proc = ProcState::Ready;
@@ -1286,7 +1404,10 @@ fn proc_next<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
             node.current_op = Some(op);
         }
     }
-    let op = st.nodes[n as usize].current_op.expect("op set above");
+    let op = st.invariant_some(
+        st.nodes[n as usize].current_op,
+        "proc step: current_op must be populated before dispatch",
+    );
     let issue = SimDuration::from_nanos(st.params.proc_issue_ns);
     match op {
         ProcOp::Halt => {
@@ -1317,19 +1438,22 @@ fn proc_next<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 }
             }
             // Cache hit?
-            let hit = {
+            let (hit, exclusive_store_refused) = {
                 let node = &mut st.nodes[n as usize];
                 match node.cache.touch(line) {
-                    Some(l) if !write => Some(l.version),
-                    Some(l) if speculative && l.exclusive => Some(l.version),
-                    Some(l) if write && l.exclusive => {
-                        let v = node.cache.store(line).expect("exclusive store");
-                        Some(v)
-                    }
-                    Some(_) if write => None, // shared copy: ownership upgrade below
-                    _ => None,
+                    Some(l) if !write => (Some(l.version), false),
+                    Some(l) if speculative && l.exclusive => (Some(l.version), false),
+                    Some(l) if write && l.exclusive => match node.cache.store(line) {
+                        Some(v) => (Some(v), false),
+                        None => (None, true),
+                    },
+                    Some(_) if write => (None, false), // shared copy: upgrade below
+                    _ => (None, false),
                 }
             };
+            if exclusive_store_refused {
+                st.invariant_failure("cache hit: exclusive line must accept the store");
+            }
             if let Some(v) = hit {
                 if write && !speculative {
                     st.oracle.record_store(line, v);
@@ -1337,7 +1461,10 @@ fn proc_next<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 let node = &mut st.nodes[n as usize];
                 node.current_op = None;
                 node.workload.on_result(NodeId(n), OpResult::Ok(None));
-                sched.after(SimDuration::from_nanos(st.params.l2_hit_ns) + issue, Ev::ProcNext(n));
+                sched.after(
+                    SimDuration::from_nanos(st.params.l2_hit_ns) + issue,
+                    Ev::ProcNext(n),
+                );
                 return;
             }
             // Miss path: node-map check, then request to the home.
@@ -1356,7 +1483,11 @@ fn proc_next<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 node.op_epoch += 1;
                 node.naks.reset();
                 node.op_issued_at = now;
-                node.proc = ProcState::WaitMiss { line, write, epoch: node.op_epoch };
+                node.proc = ProcState::WaitMiss {
+                    line,
+                    write,
+                    epoch: node.op_epoch,
+                };
                 node.op_epoch
             };
             sched.after(
@@ -1397,7 +1528,12 @@ fn proc_next<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 let node = &mut st.nodes[n as usize];
                 node.op_epoch += 1;
                 node.op_issued_at = now;
-                node.proc = ProcState::WaitUncached { tag, dev, write, epoch: node.op_epoch };
+                node.proc = ProcState::WaitUncached {
+                    tag,
+                    dev,
+                    write,
+                    epoch: node.op_epoch,
+                };
                 if !write {
                     node.uncached.begin_read(tag);
                 }
@@ -1452,7 +1588,10 @@ fn complete_local_bus_error<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Deb
     node.proc = ProcState::Ready;
     node.workload.on_result(NodeId(n), OpResult::BusError(err));
     st.counters.incr("bus_errors");
-    sched.after(SimDuration::from_nanos(st.params.proc_issue_ns), Ev::ProcNext(n));
+    sched.after(
+        SimDuration::from_nanos(st.params.proc_issue_ns),
+        Ev::ProcNext(n),
+    );
 }
 
 /// Reissues a NAK'd miss.
@@ -1523,17 +1662,22 @@ fn on_upgrade_ack<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
             .map(|l| l.version);
         if let Some(version) = version {
             let home = st.layout.home_of(line);
-            let put = CohMsg::Put { line, version, keep_shared: false };
+            let put = CohMsg::Put {
+                line,
+                version,
+                keep_shared: false,
+            };
             st.send_coh(NodeId(n), home, put, sched);
         }
         return;
     }
     let speculative = st.nodes[n as usize].current_is_speculative;
-    let node = &mut st.nodes[n as usize];
-    match node.cache.upgrade(line) {
+    match st.nodes[n as usize].cache.upgrade(line) {
         Some(_) => {
             if !speculative {
-                let v = node.cache.store(line).expect("exclusive after upgrade");
+                let stored = st.nodes[n as usize].cache.store(line);
+                let v =
+                    st.invariant_some(stored, "upgrade ack: line must be exclusive after upgrade");
                 st.oracle.record_store(line, v);
             }
         }
@@ -1565,11 +1709,19 @@ fn on_upgrade_ack<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
             let node = &mut st.nodes[n as usize];
             if for_write {
                 if let Some(l) = node.cache.invalidate(line) {
-                    let put = CohMsg::Put { line, version: l.version, keep_shared: false };
+                    let put = CohMsg::Put {
+                        line,
+                        version: l.version,
+                        keep_shared: false,
+                    };
                     st.send_coh(NodeId(n), home, put, sched);
                 }
             } else if let Some(v) = node.cache.downgrade(line) {
-                let put = CohMsg::Put { line, version: v, keep_shared: true };
+                let put = CohMsg::Put {
+                    line,
+                    version: v,
+                    keep_shared: true,
+                };
                 st.send_coh(NodeId(n), home, put, sched);
             }
         }
@@ -1595,8 +1747,8 @@ fn pump<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 node.pump_scheduled[lane_idx as usize] = false;
                 return;
             }
-            match node.outbox[lane_idx as usize].front() {
-                Some(_) => node.outbox[lane_idx as usize].pop_front().expect("front"),
+            match node.outbox[lane_idx as usize].pop_front() {
+                Some(head) => head,
                 None => {
                     node.pump_scheduled[lane_idx as usize] = false;
                     return;
@@ -1612,7 +1764,9 @@ fn pump<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 head.flits,
                 head.payload.clone(),
             ),
-            None => Packet::table_routed(NodeId(n), head.dst, lane, head.flits, head.payload.clone()),
+            None => {
+                Packet::table_routed(NodeId(n), head.dst, lane, head.flits, head.payload.clone())
+            }
         };
         let mut out = Vec::new();
         match st.fabric.try_send(NodeId(n), packet, now, &mut out) {
@@ -1626,7 +1780,10 @@ fn pump<R: Clone + std::fmt::Debug, E: Clone + std::fmt::Debug>(
                 st.nodes[n as usize].outbox[lane_idx as usize].push_front(head);
                 sched.after(
                     SimDuration::from_nanos(st.params.net.retry_ns),
-                    Ev::Pump { node: n, lane: lane_idx },
+                    Ev::Pump {
+                        node: n,
+                        lane: lane_idx,
+                    },
                 );
                 return;
             }
@@ -1828,18 +1985,24 @@ mod tests {
             |n| match n.0 {
                 1 => Box::new(Script::new([ProcOp::Read(line)])),
                 2 => Box::new(Script::new([ProcOp::Read(line)])),
-                3 => Box::new(Script::new([
-                    ProcOp::Compute(100_000),
-                    ProcOp::Write(line),
-                ])),
+                3 => Box::new(Script::new([ProcOp::Compute(100_000), ProcOp::Write(line)])),
                 _ => Box::new(Script::new([])),
             },
             4,
         );
         quiesce(&mut m);
-        assert!(m.st().nodes[1].cache.lookup(line).is_none(), "sharer 1 invalidated");
-        assert!(m.st().nodes[2].cache.lookup(line).is_none(), "sharer 2 invalidated");
-        assert_eq!(m.st().nodes[0].dir.state(line), DirState::Exclusive(NodeId(3)));
+        assert!(
+            m.st().nodes[1].cache.lookup(line).is_none(),
+            "sharer 1 invalidated"
+        );
+        assert!(
+            m.st().nodes[2].cache.lookup(line).is_none(),
+            "sharer 2 invalidated"
+        );
+        assert_eq!(
+            m.st().nodes[0].dir.state(line),
+            DirState::Exclusive(NodeId(3))
+        );
         assert_eq!(m.st().oracle.expected_version(line).0, 1);
     }
 
@@ -1870,7 +2033,10 @@ mod tests {
                 if n == NodeId(2) {
                     Box::new(Script::new([
                         ProcOp::UncachedRead { dev: NodeId(0) },
-                        ProcOp::UncachedWrite { dev: NodeId(0), value: 55 },
+                        ProcOp::UncachedWrite {
+                            dev: NodeId(0),
+                            value: 55,
+                        },
                         ProcOp::UncachedRead { dev: NodeId(0) },
                     ]))
                 } else {
@@ -1942,7 +2108,10 @@ mod tests {
         let mut m = tiny_machine(
             |n| {
                 if n == NodeId(0) {
-                    Box::new(Script::new([ProcOp::Write(protected), ProcOp::Read(protected)]))
+                    Box::new(Script::new([
+                        ProcOp::Write(protected),
+                        ProcOp::Read(protected),
+                    ]))
                 } else {
                     Box::new(Script::new([]))
                 }
@@ -2041,7 +2210,11 @@ mod tests {
                 seed,
             );
             quiesce(&mut m);
-            (m.now(), m.events_processed(), m.st().counters.get("bus_errors"))
+            (
+                m.now(),
+                m.events_processed(),
+                m.st().counters.get("bus_errors"),
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).1, 0);

@@ -6,8 +6,8 @@ use crate::payload::Payload;
 use crate::workload::{ProcOp, Workload};
 use flash_coherence::{Directory, L2Cache, LineAddr, MemLayout};
 use flash_magic::{
-    Firewall, IoGuard, MagicMode, NakCounter, Occupancy, UncachedUnit, VectorRemap,
-    NodeMap, RangeCheck,
+    Firewall, IoGuard, MagicMode, NakCounter, NodeMap, Occupancy, RangeCheck, UncachedUnit,
+    VectorRemap,
 };
 use flash_net::{Lane, NodeId, RouterId};
 use flash_sim::DetRng;

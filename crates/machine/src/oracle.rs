@@ -39,7 +39,10 @@ impl Oracle {
 
     /// The latest committed version of a line.
     pub fn expected_version(&self, line: LineAddr) -> Version {
-        self.expected.get(&line).copied().unwrap_or(Version::INITIAL)
+        self.expected
+            .get(&line)
+            .copied()
+            .unwrap_or(Version::INITIAL)
     }
 
     /// Adds a line to the may-become-incoherent set (called while the fault

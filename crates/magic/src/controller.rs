@@ -203,10 +203,22 @@ struct OpInfo {
 impl OutstandingOp {
     /// Records a newly issued operation, returning its timeout deadline and
     /// an epoch tag distinguishing it from reissues of the same line.
-    pub fn issue(&mut self, line: LineAddr, write: bool, now: SimTime, timeout_ns: u64) -> (SimTime, u64) {
+    pub fn issue(
+        &mut self,
+        line: LineAddr,
+        write: bool,
+        now: SimTime,
+        timeout_ns: u64,
+    ) -> (SimTime, u64) {
         let epoch = self.inner.map(|o| o.epoch + 1).unwrap_or(0);
         let deadline = now + SimDuration::from_nanos(timeout_ns);
-        self.inner = Some(OpInfo { line, write, issued_at: now, deadline, epoch });
+        self.inner = Some(OpInfo {
+            line,
+            write,
+            issued_at: now,
+            deadline,
+            epoch,
+        });
         (deadline, epoch)
     }
 
@@ -214,7 +226,10 @@ impl OutstandingOp {
     pub fn complete(&mut self) {
         if let Some(o) = self.inner {
             // Keep the epoch so stale timeout events can be recognized.
-            self.inner = Some(OpInfo { deadline: SimTime::MAX, ..o });
+            self.inner = Some(OpInfo {
+                deadline: SimTime::MAX,
+                ..o
+            });
         }
     }
 
@@ -272,7 +287,11 @@ impl Occupancy {
     /// Occupies the controller for `cost` starting at `max(now, busy_until)`
     /// and returns the completion time.
     pub fn occupy(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
-        let start = if now > self.busy_until { now } else { self.busy_until };
+        let start = if now > self.busy_until {
+            now
+        } else {
+            self.busy_until
+        };
         self.busy_until = start + cost;
         self.busy_until
     }
@@ -325,7 +344,10 @@ mod tests {
         assert_ne!(e0, e1);
         // Old epoch's timeout no longer fires.
         assert_eq!(op.timed_out(e0, SimTime::from_nanos(10_000)), None);
-        assert_eq!(op.timed_out(e1, SimTime::from_nanos(10_000)), Some(LineAddr(2)));
+        assert_eq!(
+            op.timed_out(e1, SimTime::from_nanos(10_000)),
+            Some(LineAddr(2))
+        );
     }
 
     #[test]
@@ -334,7 +356,11 @@ mod tests {
         let d1 = occ.occupy(SimTime::from_nanos(0), SimDuration::from_nanos(120));
         let d2 = occ.occupy(SimTime::from_nanos(50), SimDuration::from_nanos(100));
         assert_eq!(d1, SimTime::from_nanos(120));
-        assert_eq!(d2, SimTime::from_nanos(220), "second handler queues behind first");
+        assert_eq!(
+            d2,
+            SimTime::from_nanos(220),
+            "second handler queues behind first"
+        );
         // After going idle, the next handler starts at its arrival time.
         let d3 = occ.occupy(SimTime::from_nanos(500), SimDuration::from_nanos(10));
         assert_eq!(d3, SimTime::from_nanos(510));
@@ -343,7 +369,10 @@ mod tests {
     #[test]
     fn default_costs_match_paper_scale() {
         let c = HandlerCosts::default();
-        assert!(c.get_ns <= 120, "remote read handler under 120ns (Section 3.1)");
+        assert!(
+            c.get_ns <= 120,
+            "remote read handler under 120ns (Section 3.1)"
+        );
         // Firewall adds less than 7% of an inter-node write miss (~1us).
         assert!(c.firewall_check_ns * 100 < 7 * 1_000);
     }

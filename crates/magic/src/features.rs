@@ -22,7 +22,9 @@ pub struct NodeMap {
 impl NodeMap {
     /// Creates a map with all `n` nodes available.
     pub fn new(n: usize) -> Self {
-        NodeMap { available: vec![true; n] }
+        NodeMap {
+            available: vec![true; n],
+        }
     }
 
     /// Whether `node` is marked available.
@@ -78,7 +80,11 @@ impl Firewall {
         );
         let pages = (layout.lines_per_node() / LINES_PER_PAGE) as usize;
         let base_page = home.index() as u64 * layout.lines_per_node() / LINES_PER_PAGE;
-        Firewall { acls: vec![None; pages], base_page, enabled }
+        Firewall {
+            acls: vec![None; pages],
+            base_page,
+            enabled,
+        }
     }
 
     /// Whether firewall checks are active (the Table 6.1 ablation disables
@@ -93,7 +99,10 @@ impl Firewall {
     }
 
     fn local(&self, page: PageAddr) -> Option<usize> {
-        page.0.checked_sub(self.base_page).map(|p| p as usize).filter(|&p| p < self.acls.len())
+        page.0
+            .checked_sub(self.base_page)
+            .map(|p| p as usize)
+            .filter(|&p| p < self.acls.len())
     }
 
     /// Restricts write access for a page to the given nodes.
@@ -210,7 +219,9 @@ impl IoGuard {
 
     /// Creates a guard admitting everyone (pre-Hive boot state).
     pub fn permissive(n_nodes: usize) -> Self {
-        IoGuard { allowed: NodeSet::all_below(n_nodes) }
+        IoGuard {
+            allowed: NodeSet::all_below(n_nodes),
+        }
     }
 
     /// Whether `from` may issue uncached I/O here.

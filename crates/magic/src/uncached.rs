@@ -57,7 +57,10 @@ impl UncachedUnit {
     /// Panics if another uncached read is already outstanding (the blocking
     /// processor model issues at most one).
     pub fn begin_read(&mut self, tag: u64) {
-        assert!(self.pending_read.is_none(), "uncached read already outstanding");
+        assert!(
+            self.pending_read.is_none(),
+            "uncached read already outstanding"
+        );
         self.pending_read = Some(tag);
     }
 

@@ -17,7 +17,9 @@ pub struct UGraph {
 impl UGraph {
     /// Creates a graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        UGraph { adj: vec![Vec::new(); n] }
+        UGraph {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list, ignoring duplicates.
@@ -98,7 +100,13 @@ impl UGraph {
             return None;
         }
         let dist = self.bfs_distances(root, alive);
-        Some(dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0))
+        Some(
+            dist.iter()
+                .filter(|&&d| d != u32::MAX)
+                .max()
+                .copied()
+                .unwrap_or(0),
+        )
     }
 
     /// The round bound used by the dissemination phase: all nodes pick the

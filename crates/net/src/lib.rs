@@ -41,7 +41,7 @@ mod packet;
 mod routing;
 mod topology;
 
-pub use fabric::{DeliveryNote, Fabric, LinkProbe, NetEv, NetParams, Nbr, QueueRef, SendError};
+pub use fabric::{DeliveryNote, Fabric, LinkProbe, Nbr, NetEv, NetParams, QueueRef, SendError};
 pub use graph::UGraph;
 pub use ids::{Lane, LinkId, NodeId, PacketId, RouterId};
 pub use packet::{Packet, Route, MAX_SOURCE_HOPS};

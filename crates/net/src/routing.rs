@@ -222,7 +222,11 @@ pub fn up_down_tables(graph: &UGraph, alive: &[bool], root: RouterId) -> Routing
 /// Checks that the channel-dependency graph induced by `tables` over the
 /// live links in `graph` is acyclic — the classical criterion for
 /// deadlock-free table routing. Used by tests and the property suite.
-pub fn channel_dependencies_acyclic(tables: &RoutingTables, graph: &UGraph, alive: &[bool]) -> bool {
+pub fn channel_dependencies_acyclic(
+    tables: &RoutingTables,
+    graph: &UGraph,
+    alive: &[bool],
+) -> bool {
     let n = graph.len();
     // Channel = directed pair (u, v) over an edge; index channels densely.
     let mut chan_index = std::collections::HashMap::new();

@@ -145,10 +145,16 @@ impl Topology for Mesh2D {
             for x in 0..self.width {
                 let here = self.router_at(x, y);
                 if x + 1 < self.width {
-                    links.push(LinkSpec { a: here, b: self.router_at(x + 1, y) });
+                    links.push(LinkSpec {
+                        a: here,
+                        b: self.router_at(x + 1, y),
+                    });
                 }
                 if y + 1 < self.height {
-                    links.push(LinkSpec { a: here, b: self.router_at(x, y + 1) });
+                    links.push(LinkSpec {
+                        a: here,
+                        b: self.router_at(x, y + 1),
+                    });
                 }
             }
         }
@@ -243,7 +249,10 @@ impl Topology for Hypercube {
             for bit in 0..self.dim {
                 let peer = r ^ (1 << bit);
                 if peer > r {
-                    links.push(LinkSpec { a: RouterId(r as u16), b: RouterId(peer as u16) });
+                    links.push(LinkSpec {
+                        a: RouterId(r as u16),
+                        b: RouterId(peer as u16),
+                    });
                 }
             }
         }

@@ -250,7 +250,10 @@ mod tests {
         engine.schedule_at(SimTime::from_nanos(30), 3);
         engine.schedule_at(SimTime::from_nanos(10), 1);
         engine.schedule_at(SimTime::from_nanos(20), 2);
-        let mut w = Recorder { seen: vec![], stop_at: None };
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: None,
+        };
         assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Drained);
         assert_eq!(w.seen, vec![(10, 1), (20, 2), (30, 3)]);
         assert_eq!(engine.events_processed(), 3);
@@ -261,7 +264,10 @@ mod tests {
         let mut engine = Engine::new();
         engine.schedule_at(SimTime::from_nanos(10), 1);
         engine.schedule_at(SimTime::from_nanos(100), 2);
-        let mut w = Recorder { seen: vec![], stop_at: None };
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: None,
+        };
         let outcome = engine.run(&mut w, SimTime::from_nanos(50));
         assert_eq!(outcome, RunOutcome::HorizonReached);
         assert_eq!(w.seen, vec![(10, 1)]);
@@ -295,7 +301,10 @@ mod tests {
         for i in 0..10 {
             engine.schedule_at(SimTime::from_nanos(i), i as u32);
         }
-        let mut w = Recorder { seen: vec![], stop_at: Some(4) };
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: Some(4),
+        };
         assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Stopped);
         assert_eq!(w.seen.len(), 5);
         assert_eq!(engine.pending(), 5);
@@ -305,7 +314,10 @@ mod tests {
     fn step_processes_single_event() {
         let mut engine = Engine::new();
         engine.schedule_at(SimTime::from_nanos(5), 7);
-        let mut w = Recorder { seen: vec![], stop_at: None };
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: None,
+        };
         assert!(engine.step(&mut w));
         assert!(!engine.step(&mut w));
         assert_eq!(w.seen, vec![(5, 7)]);

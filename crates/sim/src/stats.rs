@@ -228,7 +228,11 @@ impl LatencyHistogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return SimDuration::from_nanos(upper);
             }
         }

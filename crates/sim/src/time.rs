@@ -232,7 +232,9 @@ mod tests {
         let d = SimTime::ZERO - SimTime::from_nanos(5);
         assert_eq!(d, SimDuration::ZERO);
         assert_eq!(
-            SimDuration::from_nanos(u64::MAX).saturating_mul(3).as_nanos(),
+            SimDuration::from_nanos(u64::MAX)
+                .saturating_mul(3)
+                .as_nanos(),
             u64::MAX
         );
     }

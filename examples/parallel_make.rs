@@ -50,7 +50,11 @@ fn main() {
             "cell {:>2}: {status}  ({} files)  {}",
             c.cell,
             c.files_done,
-            if c.affected { "[affected by fault]" } else { "" }
+            if c.affected {
+                "[affected by fault]"
+            } else {
+                ""
+            }
         );
     }
     println!();
@@ -65,7 +69,10 @@ fn main() {
         }
         None => println!("no recovery ran (fault stayed latent)"),
     }
-    println!("incoherent lines reinitialized by the OS: {}", out.lines_reinitialized);
+    println!(
+        "incoherent lines reinitialized by the OS: {}",
+        out.lines_reinitialized
+    );
     println!(
         "\nunaffected compiles all completed: {}",
         out.unaffected_all_completed()

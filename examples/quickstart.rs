@@ -18,22 +18,49 @@ fn main() {
     cfg.fill_ops = 2_000; // random cache-fill prelude per processor
     cfg.total_ops = 5_000;
 
-    println!("machine: {} nodes, {} MB L2, {} MB/node", params.n_nodes, params.l2_mb, params.mem_mb_per_node);
+    println!(
+        "machine: {} nodes, {} MB L2, {} MB/node",
+        params.n_nodes, params.l2_mb, params.mem_mb_per_node
+    );
     println!("injecting: node 3 fails while all processors are running\n");
 
     let outcome = run_fault_experiment(&cfg, FaultSpec::Node(NodeId(3)));
 
     let p = &outcome.recovery.phases;
-    println!("recovery triggered at   {}", p.triggered_at.expect("fault was detected"));
-    println!("P1  initiation          {:>10.3} ms", p.p1().unwrap().as_millis_f64());
-    println!("P2  dissemination       {:>10.3} ms (cumulative)", p.p1_2().unwrap().as_millis_f64());
-    println!("P3  interconnect        {:>10.3} ms (cumulative)", p.p1_3().unwrap().as_millis_f64());
-    println!("P4  coherence/total     {:>10.3} ms (cumulative)", p.total().unwrap().as_millis_f64());
+    println!(
+        "recovery triggered at   {}",
+        p.triggered_at.expect("fault was detected")
+    );
+    println!(
+        "P1  initiation          {:>10.3} ms",
+        p.p1().unwrap().as_millis_f64()
+    );
+    println!(
+        "P2  dissemination       {:>10.3} ms (cumulative)",
+        p.p1_2().unwrap().as_millis_f64()
+    );
+    println!(
+        "P3  interconnect        {:>10.3} ms (cumulative)",
+        p.p1_3().unwrap().as_millis_f64()
+    );
+    println!(
+        "P4  coherence/total     {:>10.3} ms (cumulative)",
+        p.total().unwrap().as_millis_f64()
+    );
     println!();
     println!("restarts:                {}", outcome.recovery.restarts);
-    println!("flush writebacks:        {}", outcome.recovery.flush_writebacks);
-    println!("lines marked incoherent: {}", outcome.recovery.lines_marked_incoherent);
-    println!("nodes resumed:           {}", outcome.recovery.nodes_resumed);
+    println!(
+        "flush writebacks:        {}",
+        outcome.recovery.flush_writebacks
+    );
+    println!(
+        "lines marked incoherent: {}",
+        outcome.recovery.lines_marked_incoherent
+    );
+    println!(
+        "nodes resumed:           {}",
+        outcome.recovery.nodes_resumed
+    );
     println!("bus errors (post-fault): {}", outcome.bus_errors);
     println!();
     println!("oracle validation:       {}", outcome.validation);

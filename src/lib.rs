@@ -19,6 +19,7 @@
 //! | [`machine`] | `flash-machine` | assembled machine, fault injection, oracle |
 //! | [`core`] | `flash-core` | **the recovery algorithm** + experiment harness |
 //! | [`hive`] | `flash-hive` | cell OS model, parallel-make experiments |
+//! | [`campaign`] | `flash-campaign` | randomized chaos campaigns, invariant stack, triage |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use flash_campaign as campaign;
 pub use flash_coherence as coherence;
 pub use flash_core as core;
 pub use flash_hive as hive;

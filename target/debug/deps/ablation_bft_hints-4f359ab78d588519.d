@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bft_hints-4f359ab78d588519.d: crates/bench/benches/ablation_bft_hints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bft_hints-4f359ab78d588519.rmeta: crates/bench/benches/ablation_bft_hints.rs Cargo.toml
+
+crates/bench/benches/ablation_bft_hints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_diameter_bound-04c4f777de4b63b6.d: crates/bench/benches/ablation_diameter_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_diameter_bound-04c4f777de4b63b6.rmeta: crates/bench/benches/ablation_diameter_bound.rs Cargo.toml
+
+crates/bench/benches/ablation_diameter_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_reliable_interconnect-76ad6698ed56bcf0.d: crates/bench/benches/ablation_reliable_interconnect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_reliable_interconnect-76ad6698ed56bcf0.rmeta: crates/bench/benches/ablation_reliable_interconnect.rs Cargo.toml
+
+crates/bench/benches/ablation_reliable_interconnect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_speculative_ping-b66f3068ae0bf84e.d: crates/bench/benches/ablation_speculative_ping.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_speculative_ping-b66f3068ae0bf84e.rmeta: crates/bench/benches/ablation_speculative_ping.rs Cargo.toml
+
+crates/bench/benches/ablation_speculative_ping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

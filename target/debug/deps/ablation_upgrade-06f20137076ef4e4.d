@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_upgrade-06f20137076ef4e4.d: crates/bench/benches/ablation_upgrade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_upgrade-06f20137076ef4e4.rmeta: crates/bench/benches/ablation_upgrade.rs Cargo.toml
+
+crates/bench/benches/ablation_upgrade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/campaign_sweep-53ca7f6de55d3db8.d: crates/bench/benches/campaign_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcampaign_sweep-53ca7f6de55d3db8.rmeta: crates/bench/benches/campaign_sweep.rs Cargo.toml
+
+crates/bench/benches/campaign_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/containment-79d39717d998706d.d: tests/containment.rs
+
+/root/repo/target/debug/deps/containment-79d39717d998706d: tests/containment.rs
+
+tests/containment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/containment-d6dc096c99119b1a.d: tests/containment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainment-d6dc096c99119b1a.rmeta: tests/containment.rs Cargo.toml
+
+tests/containment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion_sim_speed-de52d134a9e4cfcd.d: crates/bench/benches/criterion_sim_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion_sim_speed-de52d134a9e4cfcd.rmeta: crates/bench/benches/criterion_sim_speed.rs Cargo.toml
+
+crates/bench/benches/criterion_sim_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_5_5_recovery_scaling-f0a968ff31515181.d: crates/bench/benches/fig_5_5_recovery_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_5_5_recovery_scaling-f0a968ff31515181.rmeta: crates/bench/benches/fig_5_5_recovery_scaling.rs Cargo.toml
+
+crates/bench/benches/fig_5_5_recovery_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_5_6_p4_scaling-3cbe672b3c6bfb57.d: crates/bench/benches/fig_5_6_p4_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_5_6_p4_scaling-3cbe672b3c6bfb57.rmeta: crates/bench/benches/fig_5_6_p4_scaling.rs Cargo.toml
+
+crates/bench/benches/fig_5_6_p4_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig_5_7_end_to_end-12988286dc4ee153.d: crates/bench/benches/fig_5_7_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig_5_7_end_to_end-12988286dc4ee153.rmeta: crates/bench/benches/fig_5_7_end_to_end.rs Cargo.toml
+
+crates/bench/benches/fig_5_7_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

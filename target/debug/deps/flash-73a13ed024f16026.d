@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flash-73a13ed024f16026.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflash-73a13ed024f16026.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflash-73a13ed024f16026.rmeta: src/lib.rs
+
+src/lib.rs:

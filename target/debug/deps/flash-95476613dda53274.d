@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flash-95476613dda53274.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash-95476613dda53274.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flash-a1b5e6a85687b11a.d: src/lib.rs
+
+/root/repo/target/debug/deps/flash-a1b5e6a85687b11a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flash_bench-3186b838a9403948.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/libflash_bench-3186b838a9403948.rlib: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/libflash_bench-3186b838a9403948.rmeta: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

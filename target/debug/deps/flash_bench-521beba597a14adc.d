@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flash_bench-521beba597a14adc.d: crates/bench/src/lib.rs crates/bench/src/results.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_bench-521beba597a14adc.rmeta: crates/bench/src/lib.rs crates/bench/src/results.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flash_bench-526eaf6a1759a17b.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/flash_bench-526eaf6a1759a17b: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

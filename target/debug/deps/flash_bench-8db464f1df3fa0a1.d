@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flash_bench-8db464f1df3fa0a1.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/libflash_bench-8db464f1df3fa0a1.rlib: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/libflash_bench-8db464f1df3fa0a1.rmeta: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flash_bench-ad8e7794deabca45.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/debug/deps/flash_bench-ad8e7794deabca45: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

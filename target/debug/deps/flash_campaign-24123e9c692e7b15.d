@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flash_campaign-24123e9c692e7b15.d: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+/root/repo/target/debug/deps/flash_campaign-24123e9c692e7b15: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+crates/campaign/src/lib.rs:
+crates/campaign/src/invariants.rs:
+crates/campaign/src/runner.rs:
+crates/campaign/src/schedule.rs:
+crates/campaign/src/triage.rs:

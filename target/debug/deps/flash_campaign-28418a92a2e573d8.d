@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flash_campaign-28418a92a2e573d8.d: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+/root/repo/target/debug/deps/libflash_campaign-28418a92a2e573d8.rlib: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+/root/repo/target/debug/deps/libflash_campaign-28418a92a2e573d8.rmeta: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+crates/campaign/src/lib.rs:
+crates/campaign/src/invariants.rs:
+crates/campaign/src/runner.rs:
+crates/campaign/src/schedule.rs:
+crates/campaign/src/triage.rs:

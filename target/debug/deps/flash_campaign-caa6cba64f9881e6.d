@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flash_campaign-caa6cba64f9881e6.d: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_campaign-caa6cba64f9881e6.rmeta: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs Cargo.toml
+
+crates/campaign/src/lib.rs:
+crates/campaign/src/invariants.rs:
+crates/campaign/src/runner.rs:
+crates/campaign/src/schedule.rs:
+crates/campaign/src/triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flash_coherence-591e9c04c992aed2.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_coherence-591e9c04c992aed2.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs Cargo.toml
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/line.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/nodeset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flash_coherence-aa571b453851deb6.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+/root/repo/target/debug/deps/flash_coherence-aa571b453851deb6: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/line.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/nodeset.rs:

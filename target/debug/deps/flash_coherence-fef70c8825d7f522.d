@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flash_coherence-fef70c8825d7f522.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+/root/repo/target/debug/deps/libflash_coherence-fef70c8825d7f522.rlib: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+/root/repo/target/debug/deps/libflash_coherence-fef70c8825d7f522.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/line.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/nodeset.rs:

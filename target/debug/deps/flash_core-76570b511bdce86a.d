@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flash_core-76570b511bdce86a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/flash_core-76570b511bdce86a: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/ext.rs:
+crates/core/src/msg.rs:
+crates/core/src/view.rs:

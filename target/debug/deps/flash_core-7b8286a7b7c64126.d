@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flash_core-7b8286a7b7c64126.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libflash_core-7b8286a7b7c64126.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+/root/repo/target/debug/deps/libflash_core-7b8286a7b7c64126.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/ext.rs:
+crates/core/src/msg.rs:
+crates/core/src/view.rs:

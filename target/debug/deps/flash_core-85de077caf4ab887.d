@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flash_core-85de077caf4ab887.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_core-85de077caf4ab887.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/ext.rs:
+crates/core/src/msg.rs:
+crates/core/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flash_hive-1ba441b3fb2b7181.d: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+/root/repo/target/debug/deps/libflash_hive-1ba441b3fb2b7181.rlib: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+/root/repo/target/debug/deps/libflash_hive-1ba441b3fb2b7181.rmeta: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+crates/hive/src/lib.rs:
+crates/hive/src/cells.rs:
+crates/hive/src/experiment.rs:
+crates/hive/src/os.rs:
+crates/hive/src/task.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flash_hive-513023b07be06c03.d: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+/root/repo/target/debug/deps/flash_hive-513023b07be06c03: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+crates/hive/src/lib.rs:
+crates/hive/src/cells.rs:
+crates/hive/src/experiment.rs:
+crates/hive/src/os.rs:
+crates/hive/src/task.rs:

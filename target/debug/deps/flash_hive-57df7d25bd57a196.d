@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flash_hive-57df7d25bd57a196.d: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_hive-57df7d25bd57a196.rmeta: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs Cargo.toml
+
+crates/hive/src/lib.rs:
+crates/hive/src/cells.rs:
+crates/hive/src/experiment.rs:
+crates/hive/src/os.rs:
+crates/hive/src/task.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flash_machine-47c2c614298871f3.d: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/libflash_machine-47c2c614298871f3.rlib: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/libflash_machine-47c2c614298871f3.rmeta: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/node.rs:
+crates/machine/src/oracle.rs:
+crates/machine/src/params.rs:
+crates/machine/src/payload.rs:
+crates/machine/src/workload.rs:

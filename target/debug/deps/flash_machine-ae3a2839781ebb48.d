@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flash_machine-ae3a2839781ebb48.d: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+/root/repo/target/debug/deps/flash_machine-ae3a2839781ebb48: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/node.rs:
+crates/machine/src/oracle.rs:
+crates/machine/src/params.rs:
+crates/machine/src/payload.rs:
+crates/machine/src/workload.rs:

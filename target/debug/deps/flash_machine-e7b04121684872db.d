@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/flash_machine-e7b04121684872db.d: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_machine-e7b04121684872db.rmeta: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/node.rs:
+crates/machine/src/oracle.rs:
+crates/machine/src/params.rs:
+crates/machine/src/payload.rs:
+crates/machine/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

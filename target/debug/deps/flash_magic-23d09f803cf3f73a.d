@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flash_magic-23d09f803cf3f73a.d: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_magic-23d09f803cf3f73a.rmeta: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs Cargo.toml
+
+crates/magic/src/lib.rs:
+crates/magic/src/controller.rs:
+crates/magic/src/features.rs:
+crates/magic/src/uncached.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

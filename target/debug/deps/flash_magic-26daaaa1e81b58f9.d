@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flash_magic-26daaaa1e81b58f9.d: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+/root/repo/target/debug/deps/flash_magic-26daaaa1e81b58f9: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+crates/magic/src/lib.rs:
+crates/magic/src/controller.rs:
+crates/magic/src/features.rs:
+crates/magic/src/uncached.rs:

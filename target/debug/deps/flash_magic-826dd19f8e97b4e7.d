@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flash_magic-826dd19f8e97b4e7.d: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_magic-826dd19f8e97b4e7.rmeta: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs Cargo.toml
+
+crates/magic/src/lib.rs:
+crates/magic/src/controller.rs:
+crates/magic/src/features.rs:
+crates/magic/src/uncached.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flash_magic-c100cd04fc94e663.d: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+/root/repo/target/debug/deps/libflash_magic-c100cd04fc94e663.rlib: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+/root/repo/target/debug/deps/libflash_magic-c100cd04fc94e663.rmeta: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+crates/magic/src/lib.rs:
+crates/magic/src/controller.rs:
+crates/magic/src/features.rs:
+crates/magic/src/uncached.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flash_net-2fb5cd70d4cf1065.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libflash_net-2fb5cd70d4cf1065.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libflash_net-2fb5cd70d4cf1065.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/graph.rs:
+crates/net/src/ids.rs:
+crates/net/src/packet.rs:
+crates/net/src/routing.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flash_net-30db439f65a41952.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/flash_net-30db439f65a41952: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/graph.rs:
+crates/net/src/ids.rs:
+crates/net/src/packet.rs:
+crates/net/src/routing.rs:
+crates/net/src/topology.rs:

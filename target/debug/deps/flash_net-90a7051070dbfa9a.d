@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flash_net-90a7051070dbfa9a.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflash_net-90a7051070dbfa9a.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/graph.rs:
+crates/net/src/ids.rs:
+crates/net/src/packet.rs:
+crates/net/src/routing.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hive_end_to_end-4386aeba348611b9.d: tests/hive_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhive_end_to_end-4386aeba348611b9.rmeta: tests/hive_end_to_end.rs Cargo.toml
+
+tests/hive_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hive_end_to_end-7613756be9f98f1e.d: tests/hive_end_to_end.rs
+
+/root/repo/target/debug/deps/hive_end_to_end-7613756be9f98f1e: tests/hive_end_to_end.rs
+
+tests/hive_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_fault-5c1c192fb08edb58.d: tests/multi_fault.rs
+
+/root/repo/target/debug/deps/multi_fault-5c1c192fb08edb58: tests/multi_fault.rs
+
+tests/multi_fault.rs:

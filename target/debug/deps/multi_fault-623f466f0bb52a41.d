@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_fault-623f466f0bb52a41.d: tests/multi_fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_fault-623f466f0bb52a41.rmeta: tests/multi_fault.rs Cargo.toml
+
+tests/multi_fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

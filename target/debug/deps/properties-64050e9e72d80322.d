@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-64050e9e72d80322.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-64050e9e72d80322: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-362c2ebfe00719d1.d: crates/core/tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-362c2ebfe00719d1.rmeta: crates/core/tests/recovery.rs Cargo.toml
+
+crates/core/tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-c6921f9ac0fa2506.d: crates/core/tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-c6921f9ac0fa2506: crates/core/tests/recovery.rs
+
+crates/core/tests/recovery.rs:

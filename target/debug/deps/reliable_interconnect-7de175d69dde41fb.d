@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reliable_interconnect-7de175d69dde41fb.d: tests/reliable_interconnect.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliable_interconnect-7de175d69dde41fb.rmeta: tests/reliable_interconnect.rs Cargo.toml
+
+tests/reliable_interconnect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliable_interconnect-85f1f0e9f8830b1c.d: tests/reliable_interconnect.rs
+
+/root/repo/target/debug/deps/reliable_interconnect-85f1f0e9f8830b1c: tests/reliable_interconnect.rs
+
+tests/reliable_interconnect.rs:

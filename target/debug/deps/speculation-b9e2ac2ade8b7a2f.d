@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/speculation-b9e2ac2ade8b7a2f.d: tests/speculation.rs
+
+/root/repo/target/debug/deps/speculation-b9e2ac2ade8b7a2f: tests/speculation.rs
+
+tests/speculation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/speculation-f12fedd45be71679.d: tests/speculation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspeculation-f12fedd45be71679.rmeta: tests/speculation.rs Cargo.toml
+
+tests/speculation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

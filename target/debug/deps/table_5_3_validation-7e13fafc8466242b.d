@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_5_3_validation-7e13fafc8466242b.d: crates/bench/benches/table_5_3_validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_5_3_validation-7e13fafc8466242b.rmeta: crates/bench/benches/table_5_3_validation.rs Cargo.toml
+
+crates/bench/benches/table_5_3_validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_5_4_end_to_end-678928995a197a17.d: crates/bench/benches/table_5_4_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_5_4_end_to_end-678928995a197a17.rmeta: crates/bench/benches/table_5_4_end_to_end.rs Cargo.toml
+
+crates/bench/benches/table_5_4_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

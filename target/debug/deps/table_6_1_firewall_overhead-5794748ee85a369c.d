@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_6_1_firewall_overhead-5794748ee85a369c.d: crates/bench/benches/table_6_1_firewall_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_6_1_firewall_overhead-5794748ee85a369c.rmeta: crates/bench/benches/table_6_1_firewall_overhead.rs Cargo.toml
+
+crates/bench/benches/table_6_1_firewall_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/upgrade_protocol-691692f85744e68e.d: tests/upgrade_protocol.rs
+
+/root/repo/target/debug/deps/upgrade_protocol-691692f85744e68e: tests/upgrade_protocol.rs
+
+tests/upgrade_protocol.rs:

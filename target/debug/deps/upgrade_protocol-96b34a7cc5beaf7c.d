@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/upgrade_protocol-96b34a7cc5beaf7c.d: tests/upgrade_protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libupgrade_protocol-96b34a7cc5beaf7c.rmeta: tests/upgrade_protocol.rs Cargo.toml
+
+tests/upgrade_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validation_suite-466812be87bb10b4.d: tests/validation_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidation_suite-466812be87bb10b4.rmeta: tests/validation_suite.rs Cargo.toml
+
+tests/validation_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

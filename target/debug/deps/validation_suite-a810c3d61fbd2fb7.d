@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validation_suite-a810c3d61fbd2fb7.d: tests/validation_suite.rs
+
+/root/repo/target/debug/deps/validation_suite-a810c3d61fbd2fb7: tests/validation_suite.rs
+
+tests/validation_suite.rs:

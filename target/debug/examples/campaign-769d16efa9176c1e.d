@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/campaign-769d16efa9176c1e.d: examples/campaign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcampaign-769d16efa9176c1e.rmeta: examples/campaign.rs Cargo.toml
+
+examples/campaign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/campaign-9cbc74ed955aa91f.d: examples/campaign.rs
+
+/root/repo/target/debug/examples/campaign-9cbc74ed955aa91f: examples/campaign.rs
+
+examples/campaign.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/fault_sweep-166fdb51b1a613e6.d: examples/fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfault_sweep-166fdb51b1a613e6.rmeta: examples/fault_sweep.rs Cargo.toml
+
+examples/fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_sweep-96485b578b9fff4a.d: examples/fault_sweep.rs
+
+/root/repo/target/debug/examples/fault_sweep-96485b578b9fff4a: examples/fault_sweep.rs
+
+examples/fault_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hive_check-03b6666735b8a4b2.d: crates/hive/examples/hive_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhive_check-03b6666735b8a4b2.rmeta: crates/hive/examples/hive_check.rs Cargo.toml
+
+crates/hive/examples/hive_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hive_check-e48e066d47c4fd4b.d: crates/hive/examples/hive_check.rs
+
+/root/repo/target/debug/examples/hive_check-e48e066d47c4fd4b: crates/hive/examples/hive_check.rs
+
+crates/hive/examples/hive_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_make-5f7bbb84a9966bb9.d: examples/parallel_make.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_make-5f7bbb84a9966bb9.rmeta: examples/parallel_make.rs Cargo.toml
+
+examples/parallel_make.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

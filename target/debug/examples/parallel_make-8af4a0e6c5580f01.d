@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_make-8af4a0e6c5580f01.d: examples/parallel_make.rs
+
+/root/repo/target/debug/examples/parallel_make-8af4a0e6c5580f01: examples/parallel_make.rs
+
+examples/parallel_make.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-965d55652f300aaf.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-965d55652f300aaf: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recovery_trace-04d8f016bbd9e2af.d: examples/recovery_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecovery_trace-04d8f016bbd9e2af.rmeta: examples/recovery_trace.rs Cargo.toml
+
+examples/recovery_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

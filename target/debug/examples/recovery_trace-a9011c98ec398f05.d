@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recovery_trace-a9011c98ec398f05.d: examples/recovery_trace.rs
+
+/root/repo/target/debug/examples/recovery_trace-a9011c98ec398f05: examples/recovery_trace.rs
+
+examples/recovery_trace.rs:

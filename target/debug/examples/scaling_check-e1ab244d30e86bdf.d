@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_check-e1ab244d30e86bdf.d: crates/core/examples/scaling_check.rs
+
+/root/repo/target/debug/examples/scaling_check-e1ab244d30e86bdf: crates/core/examples/scaling_check.rs
+
+crates/core/examples/scaling_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scaling_check-e73339ceee9076f1.d: crates/core/examples/scaling_check.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscaling_check-e73339ceee9076f1.rmeta: crates/core/examples/scaling_check.rs Cargo.toml
+
+crates/core/examples/scaling_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bft_hints-204cb08a08fa0ced.d: crates/bench/benches/ablation_bft_hints.rs
+
+/root/repo/target/release/deps/ablation_bft_hints-204cb08a08fa0ced: crates/bench/benches/ablation_bft_hints.rs
+
+crates/bench/benches/ablation_bft_hints.rs:

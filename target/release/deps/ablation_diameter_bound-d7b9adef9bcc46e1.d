@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_diameter_bound-d7b9adef9bcc46e1.d: crates/bench/benches/ablation_diameter_bound.rs
+
+/root/repo/target/release/deps/ablation_diameter_bound-d7b9adef9bcc46e1: crates/bench/benches/ablation_diameter_bound.rs
+
+crates/bench/benches/ablation_diameter_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_reliable_interconnect-80543448b922f445.d: crates/bench/benches/ablation_reliable_interconnect.rs
+
+/root/repo/target/release/deps/ablation_reliable_interconnect-80543448b922f445: crates/bench/benches/ablation_reliable_interconnect.rs
+
+crates/bench/benches/ablation_reliable_interconnect.rs:

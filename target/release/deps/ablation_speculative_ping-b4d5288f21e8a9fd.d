@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_speculative_ping-b4d5288f21e8a9fd.d: crates/bench/benches/ablation_speculative_ping.rs
+
+/root/repo/target/release/deps/ablation_speculative_ping-b4d5288f21e8a9fd: crates/bench/benches/ablation_speculative_ping.rs
+
+crates/bench/benches/ablation_speculative_ping.rs:

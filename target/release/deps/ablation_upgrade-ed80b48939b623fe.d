@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_upgrade-ed80b48939b623fe.d: crates/bench/benches/ablation_upgrade.rs
+
+/root/repo/target/release/deps/ablation_upgrade-ed80b48939b623fe: crates/bench/benches/ablation_upgrade.rs
+
+crates/bench/benches/ablation_upgrade.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/campaign_sweep-e7a68cf2c61f7f6c.d: crates/bench/benches/campaign_sweep.rs
+
+/root/repo/target/release/deps/campaign_sweep-e7a68cf2c61f7f6c: crates/bench/benches/campaign_sweep.rs
+
+crates/bench/benches/campaign_sweep.rs:

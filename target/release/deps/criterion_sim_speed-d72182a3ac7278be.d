@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion_sim_speed-d72182a3ac7278be.d: crates/bench/benches/criterion_sim_speed.rs
+
+/root/repo/target/release/deps/criterion_sim_speed-d72182a3ac7278be: crates/bench/benches/criterion_sim_speed.rs
+
+crates/bench/benches/criterion_sim_speed.rs:

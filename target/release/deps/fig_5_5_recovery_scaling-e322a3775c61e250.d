@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_5_5_recovery_scaling-e322a3775c61e250.d: crates/bench/benches/fig_5_5_recovery_scaling.rs
+
+/root/repo/target/release/deps/fig_5_5_recovery_scaling-e322a3775c61e250: crates/bench/benches/fig_5_5_recovery_scaling.rs
+
+crates/bench/benches/fig_5_5_recovery_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_5_6_p4_scaling-e88e94ca7b6f7b45.d: crates/bench/benches/fig_5_6_p4_scaling.rs
+
+/root/repo/target/release/deps/fig_5_6_p4_scaling-e88e94ca7b6f7b45: crates/bench/benches/fig_5_6_p4_scaling.rs
+
+crates/bench/benches/fig_5_6_p4_scaling.rs:

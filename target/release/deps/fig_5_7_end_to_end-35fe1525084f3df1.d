@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig_5_7_end_to_end-35fe1525084f3df1.d: crates/bench/benches/fig_5_7_end_to_end.rs
+
+/root/repo/target/release/deps/fig_5_7_end_to_end-35fe1525084f3df1: crates/bench/benches/fig_5_7_end_to_end.rs
+
+crates/bench/benches/fig_5_7_end_to_end.rs:

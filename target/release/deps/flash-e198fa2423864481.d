@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flash-e198fa2423864481.d: src/lib.rs
+
+/root/repo/target/release/deps/libflash-e198fa2423864481.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflash-e198fa2423864481.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flash_bench-27d0a546aaee2404.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/release/deps/libflash_bench-27d0a546aaee2404.rlib: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/release/deps/libflash_bench-27d0a546aaee2404.rmeta: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

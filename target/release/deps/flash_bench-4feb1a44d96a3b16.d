@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/flash_bench-4feb1a44d96a3b16.d: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+/root/repo/target/release/deps/flash_bench-4feb1a44d96a3b16: crates/bench/src/lib.rs crates/bench/src/results.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/results.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flash_campaign-b48a5d96fa5439ee.d: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+/root/repo/target/release/deps/libflash_campaign-b48a5d96fa5439ee.rlib: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+/root/repo/target/release/deps/libflash_campaign-b48a5d96fa5439ee.rmeta: crates/campaign/src/lib.rs crates/campaign/src/invariants.rs crates/campaign/src/runner.rs crates/campaign/src/schedule.rs crates/campaign/src/triage.rs
+
+crates/campaign/src/lib.rs:
+crates/campaign/src/invariants.rs:
+crates/campaign/src/runner.rs:
+crates/campaign/src/schedule.rs:
+crates/campaign/src/triage.rs:

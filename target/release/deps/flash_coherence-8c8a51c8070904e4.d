@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flash_coherence-8c8a51c8070904e4.d: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+/root/repo/target/release/deps/libflash_coherence-8c8a51c8070904e4.rlib: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+/root/repo/target/release/deps/libflash_coherence-8c8a51c8070904e4.rmeta: crates/coherence/src/lib.rs crates/coherence/src/cache.rs crates/coherence/src/directory.rs crates/coherence/src/line.rs crates/coherence/src/msg.rs crates/coherence/src/nodeset.rs
+
+crates/coherence/src/lib.rs:
+crates/coherence/src/cache.rs:
+crates/coherence/src/directory.rs:
+crates/coherence/src/line.rs:
+crates/coherence/src/msg.rs:
+crates/coherence/src/nodeset.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/flash_core-763bea0cb649c75f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+/root/repo/target/release/deps/libflash_core-763bea0cb649c75f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+/root/repo/target/release/deps/libflash_core-763bea0cb649c75f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/experiment.rs crates/core/src/ext.rs crates/core/src/msg.rs crates/core/src/view.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/experiment.rs:
+crates/core/src/ext.rs:
+crates/core/src/msg.rs:
+crates/core/src/view.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flash_hive-907436cf935c10a9.d: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+/root/repo/target/release/deps/libflash_hive-907436cf935c10a9.rlib: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+/root/repo/target/release/deps/libflash_hive-907436cf935c10a9.rmeta: crates/hive/src/lib.rs crates/hive/src/cells.rs crates/hive/src/experiment.rs crates/hive/src/os.rs crates/hive/src/task.rs
+
+crates/hive/src/lib.rs:
+crates/hive/src/cells.rs:
+crates/hive/src/experiment.rs:
+crates/hive/src/os.rs:
+crates/hive/src/task.rs:

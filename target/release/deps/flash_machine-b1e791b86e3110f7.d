@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flash_machine-b1e791b86e3110f7.d: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+/root/repo/target/release/deps/libflash_machine-b1e791b86e3110f7.rlib: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+/root/repo/target/release/deps/libflash_machine-b1e791b86e3110f7.rmeta: crates/machine/src/lib.rs crates/machine/src/fault.rs crates/machine/src/machine.rs crates/machine/src/node.rs crates/machine/src/oracle.rs crates/machine/src/params.rs crates/machine/src/payload.rs crates/machine/src/workload.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/machine.rs:
+crates/machine/src/node.rs:
+crates/machine/src/oracle.rs:
+crates/machine/src/params.rs:
+crates/machine/src/payload.rs:
+crates/machine/src/workload.rs:

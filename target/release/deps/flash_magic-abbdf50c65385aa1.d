@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flash_magic-abbdf50c65385aa1.d: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+/root/repo/target/release/deps/libflash_magic-abbdf50c65385aa1.rlib: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+/root/repo/target/release/deps/libflash_magic-abbdf50c65385aa1.rmeta: crates/magic/src/lib.rs crates/magic/src/controller.rs crates/magic/src/features.rs crates/magic/src/uncached.rs
+
+crates/magic/src/lib.rs:
+crates/magic/src/controller.rs:
+crates/magic/src/features.rs:
+crates/magic/src/uncached.rs:

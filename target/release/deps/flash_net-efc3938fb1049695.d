@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flash_net-efc3938fb1049695.d: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libflash_net-efc3938fb1049695.rlib: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libflash_net-efc3938fb1049695.rmeta: crates/net/src/lib.rs crates/net/src/fabric.rs crates/net/src/graph.rs crates/net/src/ids.rs crates/net/src/packet.rs crates/net/src/routing.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/fabric.rs:
+crates/net/src/graph.rs:
+crates/net/src/ids.rs:
+crates/net/src/packet.rs:
+crates/net/src/routing.rs:
+crates/net/src/topology.rs:

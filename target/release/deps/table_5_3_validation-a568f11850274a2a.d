@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_5_3_validation-a568f11850274a2a.d: crates/bench/benches/table_5_3_validation.rs
+
+/root/repo/target/release/deps/table_5_3_validation-a568f11850274a2a: crates/bench/benches/table_5_3_validation.rs
+
+crates/bench/benches/table_5_3_validation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_5_4_end_to_end-942d0979bf7cf71e.d: crates/bench/benches/table_5_4_end_to_end.rs
+
+/root/repo/target/release/deps/table_5_4_end_to_end-942d0979bf7cf71e: crates/bench/benches/table_5_4_end_to_end.rs
+
+crates/bench/benches/table_5_4_end_to_end.rs:

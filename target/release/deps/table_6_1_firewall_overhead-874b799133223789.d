@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_6_1_firewall_overhead-874b799133223789.d: crates/bench/benches/table_6_1_firewall_overhead.rs
+
+/root/repo/target/release/deps/table_6_1_firewall_overhead-874b799133223789: crates/bench/benches/table_6_1_firewall_overhead.rs
+
+crates/bench/benches/table_6_1_firewall_overhead.rs:

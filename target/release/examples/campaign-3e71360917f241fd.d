@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/campaign-3e71360917f241fd.d: examples/campaign.rs
+
+/root/repo/target/release/examples/campaign-3e71360917f241fd: examples/campaign.rs
+
+examples/campaign.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_seed-f55d82fda5c8b36a.d: examples/probe_seed.rs
+
+/root/repo/target/release/examples/probe_seed-f55d82fda5c8b36a: examples/probe_seed.rs
+
+examples/probe_seed.rs:

@@ -5,9 +5,7 @@
 
 use flash::coherence::{DirState, LineAddr};
 use flash::core::{build_machine, RecoveryConfig};
-use flash::machine::{
-    FaultSpec, MachineParams, OpResult, ProcOp, ProcState, Script, Workload,
-};
+use flash::machine::{FaultSpec, MachineParams, OpResult, ProcOp, ProcState, Script, Workload};
 use flash::magic::BusError;
 use flash::net::NodeId;
 use flash::sim::{SimDuration, SimTime};
@@ -38,10 +36,10 @@ fn post_recovery_accesses_bus_error_correctly() {
         match n.0 {
             1 => Box::new(Script::new([ProcOp::Write(line_l)])),
             3 => Box::new(Script::new([
-                ProcOp::Compute(1_000_000), // let the write land and the fault hit
+                ProcOp::Compute(1_000_000),   // let the write land and the fault hit
                 ProcOp::Read(dead_home_line), // times out -> triggers recovery
-                ProcOp::Read(line_l),       // incoherent after recovery
-                ProcOp::Read(LineAddr(200)), // untouched line still works
+                ProcOp::Read(line_l),         // incoherent after recovery
+                ProcOp::Read(LineAddr(200)),  // untouched line still works
             ])),
             _ => Box::new(Script::new([])),
         }
@@ -81,7 +79,14 @@ fn firewall_blocks_cross_cell_write_after_hive_setup() {
         12,
     );
     let layout = CellLayout::contiguous(4, 4);
-    flash::hive::os::configure(&mut m, &layout, &flash::hive::HiveConfig { n_cells: 4, ..Default::default() });
+    flash::hive::os::configure(
+        &mut m,
+        &layout,
+        &flash::hive::HiveConfig {
+            n_cells: 4,
+            ..Default::default()
+        },
+    );
     m.start();
     m.run_until(SimTime::MAX);
     let results = script_results(&m, NodeId(2));
@@ -160,7 +165,14 @@ fn speculative_wild_write_is_contained_by_firewall() {
     };
     let mut m = build_machine(tiny(), RecoveryConfig::default(), mk, 14);
     let layout = CellLayout::contiguous(4, 4);
-    flash::hive::os::configure(&mut m, &layout, &flash::hive::HiveConfig { n_cells: 4, ..Default::default() });
+    flash::hive::os::configure(
+        &mut m,
+        &layout,
+        &flash::hive::HiveConfig {
+            n_cells: 4,
+            ..Default::default()
+        },
+    );
     m.start();
     m.run_for(SimDuration::from_millis(1));
     // The write was denied; node 0's memory version is untouched.
@@ -203,7 +215,11 @@ fn nak_overflow_detects_coherence_deadlock() {
     m.start();
     m.schedule_fault(SimTime::from_nanos(500_000), FaultSpec::Node(NodeId(1)));
     m.run_until(SimTime::MAX);
-    assert!(m.st().counters.get("nak_overflows") >= 1, "{}", m.st().counters);
+    assert!(
+        m.st().counters.get("nak_overflows") >= 1,
+        "{}",
+        m.st().counters
+    );
     assert!(m.ext().report.completed(), "recovery ran");
     assert!(m.st().validate().passed(), "{}", m.st().validate());
     // The line was dirty only on the dead node: marked incoherent, and the
@@ -211,7 +227,11 @@ fn nak_overflow_detects_coherence_deadlock() {
     assert_eq!(m.st().nodes[0].dir.state(line), DirState::Incoherent);
     for node in [NodeId(2), NodeId(3)] {
         let r = script_results(&m, node);
-        assert_eq!(r.last(), Some(&OpResult::BusError(BusError::Incoherent)), "{node}");
+        assert_eq!(
+            r.last(),
+            Some(&OpResult::BusError(BusError::Incoherent)),
+            "{node}"
+        );
     }
 }
 
@@ -246,14 +266,24 @@ fn truncated_packet_triggers_recovery() {
             FaultSpec::Link(flash::net::RouterId(1), flash::net::RouterId(3)),
         );
         m.run_until(SimTime::MAX);
-        assert!(m.ext().report.completed(), "attempt {attempt}: recovery ran");
-        assert!(m.st().validate().passed(), "attempt {attempt}: {}", m.st().validate());
+        assert!(
+            m.ext().report.completed(),
+            "attempt {attempt}: recovery ran"
+        );
+        assert!(
+            m.st().validate().passed(),
+            "attempt {attempt}: {}",
+            m.st().validate()
+        );
         if m.st().counters.get("truncated_dispatches") >= 1 {
             truncated_seen = true;
             break;
         }
     }
-    assert!(truncated_seen, "no injection time severed a packet mid-flight");
+    assert!(
+        truncated_seen,
+        "no injection time severed a packet mid-flight"
+    );
 }
 
 #[test]
@@ -292,5 +322,9 @@ fn trace_records_the_failure_story() {
             _ => {}
         }
     }
-    assert!(saw_fault && saw_trigger && saw_complete, "{}", trace.render());
+    assert!(
+        saw_fault && saw_trigger && saw_complete,
+        "{}",
+        trace.render()
+    );
 }

@@ -114,5 +114,8 @@ fn fault_free_baseline_is_clean() {
     let out = run_parallel_make(params, &hive, RecoveryConfig::default(), None, 62);
     assert!(out.finished);
     assert!(out.compiles.iter().all(|c| c.state == TaskState::Completed));
-    assert!(out.recovery.phases.triggered_at.is_none(), "no spurious recovery");
+    assert!(
+        out.recovery.phases.triggered_at.is_none(),
+        "no spurious recovery"
+    );
 }

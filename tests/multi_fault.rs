@@ -17,10 +17,7 @@ fn cfg_8(seed: u64) -> ExperimentConfig {
 
 #[test]
 fn simultaneous_double_node_failure() {
-    let fault = FaultSpec::Multi(vec![
-        FaultSpec::Node(NodeId(2)),
-        FaultSpec::Node(NodeId(5)),
-    ]);
+    let fault = FaultSpec::Multi(vec![FaultSpec::Node(NodeId(2)), FaultSpec::Node(NodeId(5))]);
     let out = run_fault_experiment(&cfg_8(21), fault);
     assert!(out.passed(), "{:?} / {}", out.recovery, out.validation);
     assert_eq!(out.recovery.nodes_resumed, 6);
@@ -57,9 +54,20 @@ fn partitioning_fault_halts_minority_side() {
         FaultSpec::Link(RouterId(0), RouterId(1)),
     ]);
     let out = run_fault_experiment(&cfg_8(26), fault);
-    assert!(out.recovery.machine_halted, "minority side halted: {:?}", out.recovery);
-    assert!(out.recovery.completed(), "majority side recovered: {:?}", out.recovery);
-    assert!(out.validation.corrupted.is_empty(), "never silent corruption");
+    assert!(
+        out.recovery.machine_halted,
+        "minority side halted: {:?}",
+        out.recovery
+    );
+    assert!(
+        out.recovery.completed(),
+        "majority side recovered: {:?}",
+        out.recovery
+    );
+    assert!(
+        out.validation.corrupted.is_empty(),
+        "never silent corruption"
+    );
 }
 
 #[test]
@@ -89,7 +97,10 @@ fn second_fault_during_recovery_restarts() {
     m.start();
     m.run_for(SimDuration::from_micros(300));
     // First fault.
-    m.schedule_fault(m.now() + SimDuration::from_nanos(1), FaultSpec::Node(NodeId(2)));
+    m.schedule_fault(
+        m.now() + SimDuration::from_nanos(1),
+        FaultSpec::Node(NodeId(2)),
+    );
     // Second fault lands in the middle of the first recovery (detection at
     // ~100us + recovery taking several ms).
     m.schedule_fault(

@@ -1,62 +1,62 @@
-//! Property-based tests of the recovery algorithm's building blocks and of
+//! Property-style tests of the recovery algorithm's building blocks and of
 //! full fault-injection runs on randomized configurations.
+//!
+//! The workspace carries no external property-testing dependency, so each
+//! property runs as a loop over seeded [`DetRng`] cases with the same input
+//! shapes and case counts the original formulation used; the seed is part
+//! of every assertion message so a failure is replayable.
 
 use flash::coherence::{L2Cache, LineAddr, NodeSet, Version};
 use flash::core::View;
 use flash::net::{
     channel_dependencies_acyclic, up_down_tables, Mesh2D, NodeId, RouterId, Topology, UGraph,
 };
-use proptest::prelude::*;
+use flash::sim::DetRng;
 
 fn mesh_graph(w: usize, h: usize) -> UGraph {
     let m = Mesh2D::new(w, h);
     UGraph::from_edges(m.num_routers(), m.links().iter().map(|l| (l.a.0, l.b.0)))
 }
 
-fn arb_view(w: usize, h: usize) -> impl Strategy<Value = View> {
-    let n = w * h;
-    (
-        proptest::collection::vec(any::<bool>(), n),
-        proptest::collection::vec(any::<bool>(), Mesh2D::new(w, h).links().len()),
-    )
-        .prop_map(move |(nodes_up, links_up)| {
-            let m = Mesh2D::new(w, h);
-            let mut v = View::new();
-            for (i, up) in nodes_up.iter().enumerate() {
-                if *up {
-                    v.set_node_up(NodeId(i as u16));
-                } else {
-                    v.set_node_down(NodeId(i as u16));
-                }
-            }
-            for (l, up) in m.links().iter().zip(links_up.iter()) {
-                if *up {
-                    v.set_link_up(l.a, l.b);
-                } else {
-                    v.set_link_down(l.a, l.b);
-                }
-            }
-            v
-        })
+fn random_view(w: usize, h: usize, rng: &mut DetRng) -> View {
+    let m = Mesh2D::new(w, h);
+    let mut v = View::new();
+    for i in 0..w * h {
+        if rng.chance(0.5) {
+            v.set_node_up(NodeId(i as u16));
+        } else {
+            v.set_node_down(NodeId(i as u16));
+        }
+    }
+    for l in m.links() {
+        if rng.chance(0.5) {
+            v.set_link_up(l.a, l.b);
+        } else {
+            v.set_link_down(l.a, l.b);
+        }
+    }
+    v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The dissemination merge is commutative and idempotent — the lattice
-    /// property the round exchange relies on.
-    #[test]
-    fn view_merge_is_a_join(a in arb_view(4, 3), b in arb_view(4, 3), c in arb_view(4, 3)) {
+/// The dissemination merge is commutative and idempotent — the lattice
+/// property the round exchange relies on.
+#[test]
+fn view_merge_is_a_join() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x11EE ^ case);
+        let a = random_view(4, 3, &mut rng);
+        let b = random_view(4, 3, &mut rng);
+        let c = random_view(4, 3, &mut rng);
         // Commutativity.
         let mut ab = a.clone();
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba, "case {case}");
         // Idempotence.
         let mut aa = a.clone();
-        prop_assert!(!aa.merge(&a.clone()));
-        prop_assert_eq!(&aa, &a);
+        assert!(!aa.merge(&a.clone()), "case {case}");
+        assert_eq!(&aa, &a, "case {case}");
         // Associativity.
         let mut ab_c = ab.clone();
         ab_c.merge(&c);
@@ -64,17 +64,19 @@ proptest! {
         bc.merge(&c);
         let mut a_bc = a.clone();
         a_bc.merge(&bc);
-        prop_assert_eq!(&ab_c, &a_bc);
+        assert_eq!(&ab_c, &a_bc, "case {case}");
     }
+}
 
-    /// up*/down* rerouting is deadlock-free and connects every pair of
-    /// routers that remains connected, for arbitrary failed link/router
-    /// sets on a mesh.
-    #[test]
-    fn up_down_is_safe_on_random_failures(
-        dead_routers in proptest::collection::vec(0u16..12, 0..4),
-        dead_links in proptest::collection::vec(0usize..17, 0..5),
-    ) {
+/// up*/down* rerouting is deadlock-free and connects every pair of
+/// routers that remains connected, for arbitrary failed link/router
+/// sets on a mesh.
+#[test]
+fn up_down_is_safe_on_random_failures() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x0DD0 ^ case);
+        let dead_routers: Vec<u16> = (0..rng.index(4)).map(|_| rng.below(12) as u16).collect();
+        let dead_links: Vec<usize> = (0..rng.index(5)).map(|_| rng.index(17)).collect();
         let m = Mesh2D::new(4, 3);
         let links = m.links();
         let mut alive = vec![true; 12];
@@ -88,50 +90,76 @@ proptest! {
             }
         }
         let Some(root) = (0..12u16).find(|&r| alive[r as usize]) else {
-            return Ok(());
+            continue;
         };
         let tables = up_down_tables(&g, &alive, RouterId(root));
-        prop_assert!(channel_dependencies_acyclic(&tables, &g, &alive));
+        assert!(
+            channel_dependencies_acyclic(&tables, &g, &alive),
+            "case {case}"
+        );
         // Connectivity: every pair in the root's component is routable.
         let dist = g.bfs_distances(root, &alive);
         for s in 0..12u16 {
             for d in 0..12u16 {
                 if dist[s as usize] != u32::MAX && dist[d as usize] != u32::MAX {
-                    prop_assert!(
+                    assert!(
                         tables.route_length(RouterId(s), RouterId(d)).is_some(),
-                        "no route {}->{}", s, d
+                        "case {case}: no route {s}->{d}"
                     );
                 }
             }
         }
     }
+}
 
-    /// The dissemination round bounds — the paper's `2h` and the tighter
-    /// center-based estimate — always cover the exact diameter of the live
-    /// cwn graph, and the center bound never exceeds `2h`.
-    #[test]
-    fn round_bound_covers_diameter(view in arb_view(4, 4)) {
+/// The dissemination round bounds — the paper's `2h` and the tighter
+/// center-based estimate — always cover the exact diameter of the live
+/// cwn graph, and the center bound never exceeds `2h`.
+#[test]
+fn round_bound_covers_diameter() {
+    let mut checked = 0u32;
+    let mut case = 0u64;
+    // Keep drawing until 64 connected configurations have been checked
+    // (disconnected draws are outside the algorithm's operating assumption).
+    while checked < 64 {
+        let mut rng = DetRng::new(0xB00D ^ case);
+        case += 1;
+        let view = random_view(4, 4, &mut rng);
         let design = mesh_graph(4, 4);
         let g = view.cwn_graph(&design);
         let alive: Vec<bool> = (0..16u16)
             .map(|i| view.live_nodes().contains(NodeId(i)))
             .collect();
-        // Only meaningful when the live nodes are connected (the recovery
-        // algorithm's operating assumption).
-        prop_assume!(g.live_connected(&alive));
+        if !g.live_connected(&alive) {
+            continue;
+        }
+        checked += 1;
         let diam = g.exact_diameter(&alive);
         let bound = view.round_bound(&design);
-        prop_assert!(bound >= diam);
+        assert!(bound >= diam, "case {case}");
         let center = view.round_bound_center(&design);
-        prop_assert!(center >= diam, "center bound sound: {} >= {}", center, diam);
-        prop_assert!(center <= bound, "center bound no worse than 2h");
+        assert!(
+            center >= diam,
+            "case {case}: center bound sound: {center} >= {diam}"
+        );
+        assert!(
+            center <= bound,
+            "case {case}: center bound no worse than 2h"
+        );
     }
+}
 
-    /// Cache model invariants under random operation sequences: occupancy
-    /// never exceeds capacity, lookups agree with a reference map, and
-    /// flush returns exactly the dirty lines.
-    #[test]
-    fn cache_matches_reference_model(ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200)) {
+/// Cache model invariants under random operation sequences: occupancy
+/// never exceeds capacity, lookups agree with a reference map, and
+/// flush returns exactly the dirty lines.
+#[test]
+fn cache_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0xCAC4E ^ case);
+        let n_ops = 1 + rng.index(199);
+        let ops: Vec<(u64, bool)> = (0..n_ops)
+            .map(|_| (rng.below(64), rng.chance(0.5)))
+            .collect();
         let mut cache = L2Cache::new(16);
         let mut reference: std::collections::HashMap<u64, (bool, Version)> =
             std::collections::HashMap::new();
@@ -164,8 +192,8 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(cache.len() <= cache.capacity());
-            prop_assert_eq!(cache.len(), reference.len());
+            assert!(cache.len() <= cache.capacity(), "case {case}");
+            assert_eq!(cache.len(), reference.len(), "case {case}");
         }
         // Flush returns exactly the dirty set.
         let mut dirty_expected: Vec<u64> = reference
@@ -175,26 +203,33 @@ proptest! {
             .collect();
         dirty_expected.sort_unstable();
         let flushed: Vec<u64> = cache.flush_all().iter().map(|l| l.addr.0).collect();
-        prop_assert_eq!(flushed, dirty_expected);
-        prop_assert!(cache.is_empty());
+        assert_eq!(flushed, dirty_expected, "case {case}");
+        assert!(cache.is_empty(), "case {case}");
     }
+}
 
-    /// NodeSet behaves like a reference set.
-    #[test]
-    fn nodeset_matches_reference(ops in proptest::collection::vec((0u16..256, any::<bool>()), 0..200)) {
+/// NodeSet behaves like a reference set.
+#[test]
+fn nodeset_matches_reference() {
+    for case in 0..64u64 {
+        let mut rng = DetRng::new(0x5E7 ^ case);
+        let n_ops = rng.index(200);
+        let ops: Vec<(u16, bool)> = (0..n_ops)
+            .map(|_| (rng.below(256) as u16, rng.chance(0.5)))
+            .collect();
         let mut set = NodeSet::new();
         let mut reference = std::collections::BTreeSet::new();
         for (id, insert) in ops {
             if insert {
-                prop_assert_eq!(set.insert(NodeId(id)), reference.insert(id));
+                assert_eq!(set.insert(NodeId(id)), reference.insert(id), "case {case}");
             } else {
-                prop_assert_eq!(set.remove(NodeId(id)), reference.remove(&id));
+                assert_eq!(set.remove(NodeId(id)), reference.remove(&id), "case {case}");
             }
-            prop_assert_eq!(set.len(), reference.len());
+            assert_eq!(set.len(), reference.len(), "case {case}");
         }
         let members: Vec<u16> = set.iter().map(|n| n.0).collect();
         let expected: Vec<u16> = reference.into_iter().collect();
-        prop_assert_eq!(members, expected);
+        assert_eq!(members, expected, "case {case}");
     }
 }
 
@@ -213,20 +248,19 @@ fn track_eviction(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// Full randomized fault-injection runs validate cleanly (a randomized
+/// micro Table 5.3 over machine shape, seed and fault type).
+#[test]
+fn randomized_experiments_validate() {
+    use flash::core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
+    use flash::machine::MachineParams;
 
-    /// Full randomized fault-injection runs validate cleanly (a randomized
-    /// micro Table 5.3 over machine shape, seed and fault type).
-    #[test]
-    fn randomized_experiments_validate(
-        seed in 0u64..1_000,
-        kind_idx in 0usize..5,
-        n_nodes in prop::sample::select(vec![4usize, 6, 8]),
-    ) {
-        use flash::core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
-        use flash::machine::MachineParams;
-        use flash::sim::DetRng;
+    let shapes = [4usize, 6, 8];
+    for case in 0..8u64 {
+        let mut pick = DetRng::new(0xEC5 ^ case);
+        let seed = pick.below(1_000);
+        let kind_idx = pick.index(5);
+        let n_nodes = *pick.choose(&shapes).expect("non-empty");
 
         let mut params = MachineParams::tiny();
         params.n_nodes = n_nodes;
@@ -236,10 +270,14 @@ proptest! {
         cfg.fill_ops = 120;
         cfg.total_ops = 350;
         let out = run_fault_experiment(&cfg, fault.clone());
-        prop_assert!(
+        assert!(
             out.passed(),
-            "fault {:?} on {} nodes seed {}: {} / recovery completed: {}",
-            fault, n_nodes, seed, out.validation, out.recovery.completed()
+            "case {case}: fault {:?} on {} nodes seed {}: {} / recovery completed: {}",
+            fault,
+            n_nodes,
+            seed,
+            out.validation,
+            out.recovery.completed()
         );
     }
 }

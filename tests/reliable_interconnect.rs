@@ -9,7 +9,10 @@ use flash::machine::{FaultSpec, MachineParams};
 use flash::net::NodeId;
 
 fn cfg(seed: u64, reliable: bool) -> ExperimentConfig {
-    let recovery = RecoveryConfig { reliable_interconnect: reliable, ..Default::default() };
+    let recovery = RecoveryConfig {
+        reliable_interconnect: reliable,
+        ..Default::default()
+    };
     let mut c = ExperimentConfig::new(MachineParams::table_5_1(), seed);
     c.recovery = recovery;
     c.fill_ops = 800;
@@ -63,6 +66,11 @@ fn batch_of_node_failures_validates_with_pruning() {
     for seed in 0..6u64 {
         let victim = NodeId(1 + (seed % 7) as u16);
         let out = run_fault_experiment(&cfg(100 + seed, true), FaultSpec::Node(victim));
-        assert!(out.passed(), "seed {seed}: {:?} / {}", out.recovery, out.validation);
+        assert!(
+            out.passed(),
+            "seed {seed}: {:?} / {}",
+            out.recovery,
+            out.validation
+        );
     }
 }

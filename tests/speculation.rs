@@ -6,12 +6,12 @@
 //! allows cells to protect their data against speculative writes."
 
 use flash::coherence::DirState;
+use flash::coherence::LineAddr;
 use flash::core::{build_machine, RecoveryConfig};
 use flash::hive::CellLayout;
 use flash::machine::{FaultSpec, MachineParams, ProcOp, Script, Workload};
 use flash::net::NodeId;
 use flash::sim::SimTime;
-use flash::coherence::LineAddr;
 
 const LPN: u64 = 8192;
 
@@ -27,7 +27,10 @@ fn run(firewall: bool) -> (DirState, u64) {
             1 => Box::new(Script::new(
                 // Detection traffic toward node 3 after it dies.
                 (0..40).flat_map(|i| {
-                    [ProcOp::Compute(100_000), ProcOp::Read(LineAddr(3 * LPN + 40 + i))]
+                    [
+                        ProcOp::Compute(100_000),
+                        ProcOp::Read(LineAddr(3 * LPN + 40 + i)),
+                    ]
                 }),
             )),
             _ => Box::new(Script::new([])),
@@ -37,7 +40,14 @@ fn run(firewall: bool) -> (DirState, u64) {
     // Hive cell setup: one cell per node, so node 0's pages are only
     // writable by node 0.
     let layout = CellLayout::contiguous(4, 4);
-    flash::hive::os::configure(&mut m, &layout, &flash::hive::HiveConfig { n_cells: 4, ..Default::default() });
+    flash::hive::os::configure(
+        &mut m,
+        &layout,
+        &flash::hive::HiveConfig {
+            n_cells: 4,
+            ..Default::default()
+        },
+    );
     m.start();
     m.schedule_fault(SimTime::from_nanos(600_000), FaultSpec::Node(NodeId(3)));
     m.run_until(SimTime::MAX);
@@ -90,7 +100,11 @@ fn speculative_faults_are_invisible_to_the_program() {
         m.st().counters.get("speculative_faults_discarded") > 0,
         "some wrong-path stores hit the protected range"
     );
-    assert_eq!(m.st().counters.get("bus_errors"), 0, "speculation faults stay invisible");
+    assert_eq!(
+        m.st().counters.get("bus_errors"),
+        0,
+        "speculation faults stay invisible"
+    );
     for node in &m.st().nodes {
         assert_eq!(node.bus_errors, 0);
     }

@@ -29,7 +29,10 @@ fn store_to_shared_copy_upgrades_in_place() {
     let c = m.st().nodes[2].cache.lookup(line).expect("still cached");
     assert!(c.exclusive);
     assert_eq!(c.version.0, 1, "the store committed on the upgraded copy");
-    assert_eq!(m.st().nodes[0].dir.state(line), DirState::Exclusive(NodeId(2)));
+    assert_eq!(
+        m.st().nodes[0].dir.state(line),
+        DirState::Exclusive(NodeId(2))
+    );
     assert_eq!(m.st().oracle.expected_version(line).0, 1);
 }
 
@@ -52,9 +55,18 @@ fn upgrade_invalidates_other_sharers_first() {
     m.start();
     m.run_until(SimTime::MAX);
     assert!(m.st().counters.get("upgrade_requests") >= 1);
-    assert!(m.st().nodes[1].cache.lookup(line).is_none(), "sharer 1 invalidated");
-    assert!(m.st().nodes[3].cache.lookup(line).is_none(), "sharer 3 invalidated");
-    assert_eq!(m.st().nodes[0].dir.state(line), DirState::Exclusive(NodeId(2)));
+    assert!(
+        m.st().nodes[1].cache.lookup(line).is_none(),
+        "sharer 1 invalidated"
+    );
+    assert!(
+        m.st().nodes[3].cache.lookup(line).is_none(),
+        "sharer 3 invalidated"
+    );
+    assert_eq!(
+        m.st().nodes[0].dir.state(line),
+        DirState::Exclusive(NodeId(2))
+    );
     assert_eq!(m.st().oracle.expected_version(line).0, 1);
 }
 
@@ -105,10 +117,16 @@ fn upgrade_across_recovery_validates() {
     );
     m.start();
     m.run_for(flash::sim::SimDuration::from_micros(400));
-    m.schedule_fault(m.now() + flash::sim::SimDuration::from_nanos(1), FaultSpec::Node(NodeId(5)));
+    m.schedule_fault(
+        m.now() + flash::sim::SimDuration::from_nanos(1),
+        FaultSpec::Node(NodeId(5)),
+    );
     m.run_until(SimTime::MAX);
     assert!(m.ext().report.completed());
     let v = m.st().validate();
     assert!(v.passed(), "{v}");
-    assert!(m.st().counters.get("upgrade_requests") > 0, "upgrades exercised");
+    assert!(
+        m.st().counters.get("upgrade_requests") > 0,
+        "upgrades exercised"
+    );
 }
