@@ -216,6 +216,55 @@ mod tests {
     }
 
     #[test]
+    fn invariant_report_hash_is_identical_across_1_and_8_workers() {
+        use std::hash::{Hash, Hasher};
+
+        // Hashes everything an invariant report contains — per-run
+        // violations (names and rendered details), completion, end times,
+        // restarts, phase hits, and traces — so any scheduling-dependent
+        // divergence between worker counts shows up as a hash mismatch.
+        fn report_hash(r: &CampaignReport) -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for rec in &r.records {
+                rec.schedule.seed.hash(&mut h);
+                rec.finished.hash(&mut h);
+                rec.end_time_ns.hash(&mut h);
+                rec.restarts.hash(&mut h);
+                rec.phase_hits.hash(&mut h);
+                rec.os_recovery_hits.hash(&mut h);
+                rec.violations.len().hash(&mut h);
+                for v in &rec.violations {
+                    v.invariant.hash(&mut h);
+                    v.details.hash(&mut h);
+                }
+                rec.trace.hash(&mut h);
+            }
+            r.phase_hits.hash(&mut h);
+            r.os_recovery_hits.hash(&mut h);
+            h.finish()
+        }
+
+        let base = CampaignConfig {
+            master_seed: 29,
+            runs: 8,
+            workers: 1,
+            generator: GeneratorConfig {
+                min_nodes: 8,
+                max_nodes: 10,
+                max_events: 2,
+                ..GeneratorConfig::default()
+            },
+        };
+        let seq = run_campaign(&base);
+        let par = run_campaign(&CampaignConfig { workers: 8, ..base });
+        assert_eq!(
+            report_hash(&seq),
+            report_hash(&par),
+            "campaign must be bit-identical across worker counts"
+        );
+    }
+
+    #[test]
     fn per_run_seeds_are_stable_and_distinct() {
         let seeds: Vec<u64> = (0..100).map(|i| per_run_seed(42, i)).collect();
         let mut uniq = seeds.clone();

@@ -1,0 +1,36 @@
+//! Phase-completion bookkeeping: per-phase done sets are folded into the
+//! [`crate::config::RecoveryReport`] timeline consumed by the experiment
+//! harness.
+
+use super::{RecoveryExt, St};
+use flash_sim::SimTime;
+use std::collections::HashSet;
+
+impl RecoveryExt {
+    // ------------------------------------------------------------------
+    // Reporting
+    // ------------------------------------------------------------------
+
+    pub(super) fn done_for_all(&self, st: &St, set: &HashSet<u16>) -> bool {
+        st.nodes
+            .iter()
+            .filter(|n| n.is_alive())
+            .all(|n| set.contains(&n.id.0))
+            || st.nodes.iter().all(|n| !n.is_alive())
+    }
+
+    pub(super) fn mark_phase_progress(&mut self, st: &St, now: SimTime) {
+        if self.report.phases.p1_done.is_none() && self.done_for_all(st, &self.done_p1.clone()) {
+            self.report.phases.p1_done = Some(now);
+        }
+        if self.report.phases.p2_done.is_none() && self.done_for_all(st, &self.done_p2.clone()) {
+            self.report.phases.p2_done = Some(now);
+        }
+        if self.report.phases.p3_done.is_none() && self.done_for_all(st, &self.done_p3.clone()) {
+            self.report.phases.p3_done = Some(now);
+        }
+        if self.report.phases.p4_done.is_none() && self.done_for_all(st, &self.done_p4.clone()) {
+            self.report.phases.p4_done = Some(now);
+        }
+    }
+}

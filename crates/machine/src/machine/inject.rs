@@ -1,0 +1,113 @@
+//! Fault arming: the injector's ground-truth mutation of the machine
+//! ([`MachineState::apply_fault`]) and the dispatch-side handler that
+//! routes the accompanying triggers to the extension.
+
+use super::stats::TraceEvent;
+use super::world::MachineWorld;
+use super::{Ev, Extension, MachineState};
+use crate::fault::FaultSpec;
+use crate::node::ProcState;
+use flash_coherence::LineAddr;
+use flash_magic::{MagicMode, Trigger};
+use flash_net::NodeId;
+use flash_sim::{Scheduler, SimDuration, SimTime};
+
+impl<R: Clone + std::fmt::Debug> MachineState<R> {
+    /// Applies a fault (ground-truth mutation + oracle bookkeeping).
+    /// False alarms are *not* applied here — the dispatcher routes them to
+    /// the extension as a [`Trigger::FalseAlarm`].
+    pub fn apply_fault(&mut self, spec: &FaultSpec, now: SimTime) {
+        for victim in spec.doomed_nodes() {
+            // Every line held exclusive (dirty) by the victim may become
+            // incoherent, whatever the relative timing of snapshots and
+            // recovery phases.
+            let dirty: Vec<LineAddr> = self.nodes[victim.index()]
+                .cache
+                .iter()
+                .filter(|l| l.exclusive)
+                .map(|l| l.addr)
+                .collect();
+            for line in dirty {
+                self.oracle.allow_incoherent(line);
+            }
+        }
+        match spec {
+            FaultSpec::Node(n) => {
+                self.failed_nodes.insert(*n);
+                let node = &mut self.nodes[n.index()];
+                node.mode = MagicMode::Dead;
+                node.proc = ProcState::Dead;
+                self.fabric.set_node_sink(*n, true);
+            }
+            FaultSpec::Router(r) => {
+                self.fabric.fail_router(*r, now);
+                let nid = NodeId(r.0);
+                self.failed_nodes.insert(nid);
+                let node = &mut self.nodes[nid.index()];
+                node.mode = MagicMode::Dead;
+                node.proc = ProcState::Dead;
+                self.fabric.set_node_sink(nid, true);
+            }
+            FaultSpec::Link(a, b) => {
+                let ok = self.fabric.fail_link_between(*a, *b, now);
+                assert!(ok, "link fault on non-adjacent routers");
+            }
+            FaultSpec::InfiniteLoop(n) => {
+                self.failed_nodes.insert(*n);
+                let node = &mut self.nodes[n.index()];
+                node.mode = MagicMode::InfiniteLoop;
+                // The processor spins forever on its current access.
+            }
+            FaultSpec::FirmwareAssertion(_) => {
+                // Physical effect applied by the dispatcher after the
+                // fail-fast controller has raised its own trigger.
+            }
+            FaultSpec::FalseAlarm(_) => {}
+            FaultSpec::Multi(list) => {
+                for f in list {
+                    self.apply_fault(f, now);
+                }
+            }
+        }
+    }
+}
+
+/// Fault-injection event handling, implemented on [`MachineWorld`] (the
+/// injected fault's triggers are delivered to the extension).
+pub(crate) trait FaultHandlers<X: Extension> {
+    /// Services an `Ev::Fault`: applies the physical effect and raises the
+    /// triggers the fault's detection produces.
+    fn handle_fault(&mut self, spec: FaultSpec, sched: &mut Scheduler<'_, Ev<X::Ev>>);
+}
+
+impl<X: Extension> FaultHandlers<X> for MachineWorld<X> {
+    fn handle_fault(&mut self, spec: FaultSpec, sched: &mut Scheduler<'_, Ev<X::Ev>>) {
+        self.st.counters.incr("faults_injected");
+        self.st
+            .trace
+            .record(sched.now(), TraceEvent::Fault(spec.clone()));
+        self.st.apply_fault(&spec, sched.now());
+        let mut singles: Vec<&FaultSpec> = Vec::new();
+        match &spec {
+            FaultSpec::Multi(list) => singles.extend(list.iter()),
+            other => singles.push(other),
+        }
+        for f in singles {
+            match f {
+                FaultSpec::FalseAlarm(n) => {
+                    self.ext
+                        .on_trigger(&mut self.st, *n, Trigger::FalseAlarm, sched);
+                }
+                FaultSpec::FirmwareAssertion(n) => {
+                    // Fail-fast: the controller raises the trigger, its
+                    // dying-gasp pings spread the wave, and a microsecond
+                    // later it halts for good.
+                    self.ext
+                        .on_trigger(&mut self.st, *n, Trigger::AssertionFailure, sched);
+                    sched.after(SimDuration::from_micros(1), Ev::Fault(FaultSpec::Node(*n)));
+                }
+                _ => {}
+            }
+        }
+    }
+}

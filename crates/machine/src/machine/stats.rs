@@ -1,0 +1,98 @@
+//! Accounting: the bounded debug trace of notable machine events and the
+//! post-recovery validation pass against the oracle (Table 5.3).
+
+use super::MachineState;
+use crate::fault::FaultSpec;
+use crate::oracle::ValidationReport;
+use crate::payload::Payload;
+use flash_coherence::{DirState, LineAddr};
+use flash_magic::{BusError, Trigger};
+use flash_net::NodeId;
+
+/// A notable machine-level event retained in the debug trace.
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// A fault was injected.
+    Fault(FaultSpec),
+    /// A hardware recovery trigger fired on a node.
+    Trigger {
+        /// The detecting node.
+        node: NodeId,
+        /// The trigger kind.
+        trig: Trigger,
+    },
+    /// A bus error was raised to a processor.
+    BusErrorRaised {
+        /// The erroring node.
+        node: NodeId,
+        /// The cause.
+        err: BusError,
+    },
+    /// Free-form annotation (recovery phases, experiment markers).
+    Note(&'static str, u64),
+}
+
+impl<R: Clone + std::fmt::Debug> MachineState<R> {
+    /// Post-recovery validation against the oracle (the check of Table 5.3):
+    /// no over-marking, no silent corruption. The machine should be
+    /// quiescent (no in-flight coherence traffic); a line's effective data
+    /// is the exclusive cached copy if one exists, else the home memory
+    /// image.
+    pub fn validate(&self) -> ValidationReport {
+        // Lines whose only valid copy was lost inside the interconnect
+        // (dropped writebacks / exclusive grants) may legitimately be
+        // marked incoherent even when they postdate the per-home oracle
+        // snapshot.
+        let mut lost_in_transit: std::collections::HashSet<LineAddr> =
+            std::collections::HashSet::new();
+        for pkt in self.fabric.dropped_packets() {
+            if let Payload::Coh(msg) = &pkt.payload {
+                if msg.carries_sole_copy() {
+                    lost_in_transit.insert(msg.line());
+                }
+            }
+        }
+        // Collect exclusive (dirty) copies from all live caches.
+        let mut dirty: std::collections::HashMap<LineAddr, flash_coherence::Version> =
+            std::collections::HashMap::new();
+        for node in &self.nodes {
+            if !node.is_alive() {
+                continue;
+            }
+            for l in node.cache.iter() {
+                if l.exclusive {
+                    dirty.insert(l.addr, l.version);
+                }
+            }
+        }
+        let mut report = ValidationReport::default();
+        for node in &self.nodes {
+            if self.failed_nodes.contains(node.id) {
+                report.inaccessible += self.layout.lines_per_node();
+                continue;
+            }
+            for (line, state) in node.dir.iter_states() {
+                report.lines_checked += 1;
+                match state {
+                    DirState::Incoherent => {
+                        report.marked_incoherent += 1;
+                        if !self.oracle.may_be_incoherent(line) && !lost_in_transit.contains(&line)
+                        {
+                            report.overmarked.push(line);
+                        }
+                    }
+                    _ => {
+                        let effective = dirty
+                            .get(&line)
+                            .copied()
+                            .unwrap_or(node.dir.mem_version(line));
+                        if effective != self.oracle.expected_version(line) {
+                            report.corrupted.push(line);
+                        }
+                    }
+                }
+            }
+        }
+        report
+    }
+}

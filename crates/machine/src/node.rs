@@ -9,7 +9,7 @@ use flash_magic::{
     Firewall, IoGuard, MagicMode, NakCounter, NodeMap, Occupancy, RangeCheck, UncachedUnit,
     VectorRemap,
 };
-use flash_net::{Lane, NodeId, RouterId};
+use flash_net::{Lane, NodeId, SourceRoute};
 use flash_sim::DetRng;
 use std::collections::VecDeque;
 
@@ -89,8 +89,9 @@ pub struct OutPkt<R> {
     pub flits: u32,
     /// Virtual lane.
     pub lane: Lane,
-    /// Source route (recovery traffic), or `None` for table routing.
-    pub route: Option<Vec<RouterId>>,
+    /// Source route (recovery traffic, hops stored inline), or `None`
+    /// for table routing.
+    pub route: Option<SourceRoute>,
 }
 
 /// Everything living on one node of the machine.

@@ -25,6 +25,7 @@ use crate::graph::UGraph;
 use crate::ids::{Lane, LinkId, NodeId, PacketId, RouterId};
 use crate::packet::{Packet, Route};
 use crate::routing::{Hop, RoutingTables};
+use crate::slab::{PacketMeta, PacketSlab};
 use crate::topology::Topology;
 use flash_sim::{Counters, SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -220,7 +221,7 @@ pub struct Fabric<P> {
     out_queues: Vec<Vec<[OutQueue<P>; Lane::COUNT]>>,
     inj_queues: Vec<[OutQueue<P>; Lane::COUNT]>,
     node_in: Vec<[InQueue<P>; Lane::COUNT]>,
-    next_packet: u64,
+    slab: PacketSlab,
     in_flight_coherence: i64,
     last_coherence_delivery: Vec<SimTime>,
     counters: Counters,
@@ -272,7 +273,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
             node_in: (0..n_nodes)
                 .map(|_| std::array::from_fn(|_| InQueue::new()))
                 .collect(),
-            next_packet: 0,
+            slab: PacketSlab::default(),
             in_flight_coherence: 0,
             last_coherence_delivery: vec![SimTime::ZERO; n_nodes],
             counters: Counters::new(),
@@ -325,8 +326,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
             self.counters.incr("inject_full");
             return Err(SendError::Full(pkt));
         }
-        pkt.id = PacketId(self.next_packet);
-        self.next_packet += 1;
+        pkt.id = self.slab.alloc(now);
         let id = pkt.id;
         if lane.is_coherence() {
             self.in_flight_coherence += 1;
@@ -334,14 +334,16 @@ impl<P: std::fmt::Debug> Fabric<P> {
         q.flits += pkt.flits;
         let newly_head = q.q.is_empty();
         q.q.push_back(pkt);
+        self.counters.incr("packets_sent");
+        // Only an idle queue needs a kick: a non-empty queue already has a
+        // TryMove/Arrived chain in flight that will reach this packet.
         if newly_head {
             q.head_since = now;
+            out.push((
+                SimDuration::ZERO,
+                NetEv::TryMove(QueueRef::Inj { node: node.0 }, lane),
+            ));
         }
-        self.counters.incr("packets_sent");
-        out.push((
-            SimDuration::ZERO,
-            NetEv::TryMove(QueueRef::Inj { node: node.0 }, lane),
-        ));
         Ok(id)
     }
 
@@ -372,6 +374,25 @@ impl<P: std::fmt::Debug> Fabric<P> {
     /// Number of packets waiting in a node's input queue on `lane`.
     pub fn input_len(&self, node: NodeId, lane: Lane) -> usize {
         self.node_in[node.index()][lane.index()].q.len()
+    }
+
+    /// Pops the next input packet in `prio` order (one pass over the node's
+    /// lanes), also reporting whether any input remains afterwards on *any*
+    /// lane. Equivalent to a [`Fabric::pop_input`] scan followed by
+    /// [`Fabric::input_len`] checks, in a single walk of the lane array.
+    pub fn pop_input_prio(&mut self, node: NodeId, prio: &[Lane]) -> (Option<Packet<P>>, bool) {
+        let lanes = &mut self.node_in[node.index()];
+        let mut pkt = None;
+        for &lane in prio {
+            let q = &mut lanes[lane.index()];
+            if let Some(p) = q.q.pop_front() {
+                q.flits -= p.flits;
+                pkt = Some(p);
+                break;
+            }
+        }
+        let more = lanes.iter().any(|q| !q.q.is_empty());
+        (pkt, more)
     }
 
     /// Marks the link between two routers failed (black hole). Returns
@@ -488,6 +509,17 @@ impl<P: std::fmt::Debug> Fabric<P> {
         &self.dropped
     }
 
+    /// Bookkeeping for a packet still inside the fabric (queued or in
+    /// transit); `None` once it has been delivered or dropped.
+    pub fn packet_meta(&self, id: PacketId) -> Option<PacketMeta> {
+        self.slab.get(id).copied()
+    }
+
+    /// Number of packets currently inside the fabric on any lane.
+    pub fn in_flight_packets(&self) -> usize {
+        self.slab.live()
+    }
+
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
@@ -516,7 +548,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
     /// Decides where a packet will be placed after landing on `at`.
     /// `consumes_hop` is true when the move crosses a router-to-router link
     /// (source routes consume one hop per link crossing).
-    fn decide(&self, at: RouterId, dst: NodeId, route: &Route, consumes_hop: bool) -> Target {
+    fn decide(&self, at: RouterId, dst: NodeId, route: Route, consumes_hop: bool) -> Target {
         match route {
             Route::Table => match self.tables.hop(at, RouterId(dst.0)) {
                 Hop::Local => {
@@ -537,7 +569,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 Hop::Unreachable => Target::Sink("drop_unreachable"),
             },
             Route::Source { hops, consumed } => {
-                let idx = consumed + usize::from(consumes_hop);
+                let idx = usize::from(consumed) + usize::from(consumes_hop);
                 if idx >= hops.len() {
                     Target::Node(NodeId(at.0))
                 } else {
@@ -561,6 +593,10 @@ impl<P: std::fmt::Debug> Fabric<P> {
     }
 
     fn drop_packet(&mut self, pkt: Packet<P>, reason: &'static str) {
+        if let Some(meta) = self.slab.release(pkt.id) {
+            self.counters
+                .add("links_crossed", u64::from(meta.links_crossed));
+        }
         if pkt.lane.is_coherence() {
             self.in_flight_coherence -= 1;
         }
@@ -632,12 +668,13 @@ impl<P: std::fmt::Debug> Fabric<P> {
             .unwrap_or(false);
         let router_dead = self.router_failed[land_router.index()].is_some();
         if link_dead || router_dead {
-            let pkt = {
+            let (pkt, more) = {
                 let q = self.queue(qr, lane);
                 let pkt = q.q.pop_front().expect("head checked");
                 q.flits -= pkt.flits;
                 q.head_since = now;
-                pkt
+                let more = !q.q.is_empty();
+                (pkt, more)
             };
             let reason = if link_dead {
                 "drop_blackhole_link"
@@ -645,17 +682,21 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 "drop_dead_router"
             };
             self.drop_packet(pkt, reason);
-            out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+            if more {
+                out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+            }
             return;
         }
 
         // Decide downstream placement and check space.
+        // `Route` is `Copy` (inline source-route hops), so inspecting the
+        // head costs no allocation.
         let consumes_hop = matches!(qr, QueueRef::Out { .. });
         let (head_dst, head_route) = {
             let pkt = self.queue(qr, lane).q.front().expect("head checked");
-            (pkt.dst, pkt.route.clone())
+            (pkt.dst, pkt.route)
         };
-        let target = self.decide(land_router, head_dst, &head_route, consumes_hop);
+        let target = self.decide(land_router, head_dst, head_route, consumes_hop);
 
         let space = match target {
             Target::Node(nd) => {
@@ -673,15 +714,18 @@ impl<P: std::fmt::Debug> Fabric<P> {
             // Blocked. Source-routed packets are stall-discarded; others poll.
             let waited = now.since(head_since);
             if is_source && waited.as_nanos() > self.params.stall_timeout_ns {
-                let pkt = {
+                let (pkt, more) = {
                     let q = self.queue(qr, lane);
                     let pkt = q.q.pop_front().expect("head checked");
                     q.flits -= pkt.flits;
                     q.head_since = now;
-                    pkt
+                    let more = !q.q.is_empty();
+                    (pkt, more)
                 };
                 self.drop_packet(pkt, "drop_stall_discard");
-                out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+                if more {
+                    out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+                }
             } else {
                 out.push((
                     SimDuration::from_nanos(self.params.retry_ns),
@@ -693,15 +737,18 @@ impl<P: std::fmt::Debug> Fabric<P> {
 
         // Immediate sinks don't need transit.
         if let Target::Sink(reason) = target {
-            let pkt = {
+            let (pkt, more) = {
                 let q = self.queue(qr, lane);
                 let pkt = q.q.pop_front().expect("head checked");
                 q.flits -= pkt.flits;
                 q.head_since = now;
-                pkt
+                let more = !q.q.is_empty();
+                (pkt, more)
             };
             self.drop_packet(pkt, reason);
-            out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+            if more {
+                out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+            }
             return;
         }
 
@@ -735,7 +782,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
         out: &mut Vec<(SimDuration, NetEv)>,
         delivered: &mut Vec<DeliveryNote>,
     ) {
-        let (mut pkt, transit) = {
+        let (mut pkt, transit, more) = {
             let q = self.queue(qr, lane);
             let Some(transit) = q.in_transit.take() else {
                 // The queue was drained (e.g. router died mid-transit).
@@ -746,10 +793,14 @@ impl<P: std::fmt::Debug> Fabric<P> {
             };
             q.flits -= pkt.flits;
             q.head_since = now;
-            (pkt, transit)
+            let more = !q.q.is_empty();
+            (pkt, transit, more)
         };
-        // The vacated queue may move its next head.
-        out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+        // The vacated queue may move its next head. An emptied queue needs no
+        // event: the next enqueue into it schedules its own TryMove.
+        if more {
+            out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+        }
 
         // Unreserve downstream.
         match transit.target {
@@ -776,10 +827,14 @@ impl<P: std::fmt::Debug> Fabric<P> {
             }
         }
 
-        // Source routes consume a hop per link crossing.
+        // Source routes consume a hop per link crossing; the slab tracks
+        // crossings for every packet.
         if matches!(qr, QueueRef::Out { .. }) {
             if let Route::Source { consumed, .. } = &mut pkt.route {
                 *consumed += 1;
+            }
+            if let Some(meta) = self.slab.get_mut(pkt.id) {
+                meta.links_crossed += 1;
             }
         }
 
@@ -789,6 +844,10 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 if q.sink {
                     self.drop_packet(pkt, "drop_dead_node");
                     return;
+                }
+                if let Some(meta) = self.slab.release(pkt.id) {
+                    self.counters
+                        .add("links_crossed", u64::from(meta.links_crossed));
                 }
                 if lane.is_coherence() {
                     self.in_flight_coherence -= 1;
@@ -808,13 +867,15 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 q.flits += pkt.flits;
                 let newly_head = q.q.is_empty();
                 q.q.push_back(pkt);
+                // A non-empty downstream queue already has an event chain
+                // (in-transit Arrived or a blocked-head retry poll) in flight.
                 if newly_head {
                     q.head_since = now;
+                    out.push((
+                        SimDuration::ZERO,
+                        NetEv::TryMove(QueueRef::Out { router, nbr }, lane),
+                    ));
                 }
-                out.push((
-                    SimDuration::ZERO,
-                    NetEv::TryMove(QueueRef::Out { router, nbr }, lane),
-                ));
             }
             Target::Sink(reason) => {
                 self.drop_packet(pkt, reason);

@@ -7,8 +7,84 @@ use crate::ids::{Lane, NodeId, PacketId, RouterId};
 /// communication (paper, Section 4.1).
 pub const MAX_SOURCE_HOPS: usize = 16;
 
+/// An inline, fixed-capacity sequence of routers for source routing.
+///
+/// The hop list lives directly in the packet (capacity
+/// [`MAX_SOURCE_HOPS`]), so packets carry and advance their route without
+/// heap allocation — the per-hop fabric path never clones a `Vec`.
+///
+/// Unused tail slots are zero-filled, so the derived equality is equivalent
+/// to comparing the active prefix.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SourceRoute {
+    hops: [RouterId; MAX_SOURCE_HOPS],
+    len: u8,
+}
+
+impl SourceRoute {
+    /// Builds a route from a hop slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops` is empty or longer than [`MAX_SOURCE_HOPS`].
+    pub fn new(hops: &[RouterId]) -> Self {
+        assert!(!hops.is_empty(), "source route needs at least one hop");
+        assert!(hops.len() <= MAX_SOURCE_HOPS, "source route too long");
+        let mut arr = [RouterId::default(); MAX_SOURCE_HOPS];
+        arr[..hops.len()].copy_from_slice(hops);
+        SourceRoute {
+            hops: arr,
+            len: hops.len() as u8,
+        }
+    }
+
+    /// The active hops.
+    #[inline]
+    pub fn as_slice(&self) -> &[RouterId] {
+        &self.hops[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SourceRoute {
+    type Target = [RouterId];
+    #[inline]
+    fn deref(&self) -> &[RouterId] {
+        self.as_slice()
+    }
+}
+
+impl From<&[RouterId]> for SourceRoute {
+    fn from(hops: &[RouterId]) -> Self {
+        SourceRoute::new(hops)
+    }
+}
+
+impl From<Vec<RouterId>> for SourceRoute {
+    fn from(hops: Vec<RouterId>) -> Self {
+        SourceRoute::new(&hops)
+    }
+}
+
+impl From<&Vec<RouterId>> for SourceRoute {
+    fn from(hops: &Vec<RouterId>) -> Self {
+        SourceRoute::new(hops)
+    }
+}
+
+impl<const N: usize> From<[RouterId; N]> for SourceRoute {
+    fn from(hops: [RouterId; N]) -> Self {
+        SourceRoute::new(&hops)
+    }
+}
+
+impl std::fmt::Debug for SourceRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
 /// How a packet is steered through the interconnect.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Route {
     /// Follow the routing tables programmed into each router.
     Table,
@@ -19,9 +95,9 @@ pub enum Route {
     Source {
         /// Routers to traverse, in order; the packet is delivered to the
         /// node attached to the last router.
-        hops: Vec<RouterId>,
+        hops: SourceRoute,
         /// Number of hops already consumed.
-        consumed: usize,
+        consumed: u8,
     },
 }
 
@@ -77,20 +153,21 @@ impl<P> Packet<P> {
     pub fn source_routed(
         src: NodeId,
         dst: NodeId,
-        hops: Vec<RouterId>,
+        hops: impl Into<SourceRoute>,
         lane: Lane,
         flits: u32,
         payload: P,
     ) -> Self {
-        assert!(!hops.is_empty(), "source route needs at least one hop");
-        assert!(hops.len() <= MAX_SOURCE_HOPS, "source route too long");
         Packet {
             id: PacketId::default(),
             src,
             dst,
             lane,
             flits: flits.max(1),
-            route: Route::Source { hops, consumed: 0 },
+            route: Route::Source {
+                hops: hops.into(),
+                consumed: 0,
+            },
             truncated: false,
             payload,
         }
@@ -132,6 +209,23 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn source_route_is_copy_and_compares_by_prefix() {
+        let a = SourceRoute::new(&[RouterId(3), RouterId(4)]);
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_eq!(a.as_slice(), &[RouterId(3), RouterId(4)]);
+        assert_eq!(a, SourceRoute::from(vec![RouterId(3), RouterId(4)]));
+        assert_ne!(a, SourceRoute::new(&[RouterId(3)]));
+        // Routes (and thus packets' steering state) are Copy now.
+        let r = Route::Source {
+            hops: a,
+            consumed: 1,
+        };
+        let r2 = r;
+        assert_eq!(r, r2);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct Scheduler<'a, E> {
     now: SimTime,
     queue: &'a mut EventQueue<E>,
     stop_requested: &'a mut bool,
+    clamped: &'a mut u64,
 }
 
 impl<'a, E> Scheduler<'a, E> {
@@ -38,12 +39,14 @@ impl<'a, E> Scheduler<'a, E> {
 
     /// Schedules `ev` at absolute time `at`.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `at` precedes the current time; events may
-    /// never be scheduled in the past.
+    /// A time preceding the current instant is clamped to `now` (the event
+    /// still runs, after everything already queued for this instant) and
+    /// counted in [`Engine::clamped_schedules`]; behaviour is identical in
+    /// debug and release builds.
     pub fn at(&mut self, at: SimTime, ev: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past");
+        if at < self.now {
+            *self.clamped += 1;
+        }
         self.queue.push(at.max(self.now), ev);
     }
 
@@ -108,6 +111,7 @@ pub struct Engine<E> {
     now: SimTime,
     processed: u64,
     budget: u64,
+    clamped: u64,
 }
 
 impl<E> Engine<E> {
@@ -119,6 +123,7 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             processed: 0,
             budget: u64::MAX,
+            clamped: 0,
         }
     }
 
@@ -137,6 +142,12 @@ impl<E> Engine<E> {
     /// Total events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Number of [`Scheduler::at`] calls whose timestamp preceded the
+    /// current instant and was clamped to it.
+    pub fn clamped_schedules(&self) -> u64 {
+        self.clamped
     }
 
     /// Number of events currently pending.
@@ -182,10 +193,65 @@ impl<E> Engine<E> {
                 now: self.now,
                 queue: &mut self.queue,
                 stop_requested: &mut stop,
+                clamped: &mut self.clamped,
             };
             world.dispatch(ev, &mut sched);
             if stop {
                 return RunOutcome::Stopped;
+            }
+        }
+    }
+
+    /// Like [`Engine::run`], but after delivering an event at time `t` it
+    /// drains every other event scheduled for exactly `t` — including
+    /// zero-delay follow-ups queued during the batch — without re-entering
+    /// the peek/compare scheduling loop per event.
+    ///
+    /// Delivery order, budget, horizon, and stop semantics are identical to
+    /// [`Engine::run`]; only the per-event queue overhead differs.
+    pub fn run_batched<W: World<Ev = E>>(&mut self, world: &mut W, horizon: SimTime) -> RunOutcome {
+        let mut stop = false;
+        loop {
+            let Some(next) = self.queue.peek_time() else {
+                return RunOutcome::Drained;
+            };
+            if next > horizon {
+                self.now = horizon;
+                return RunOutcome::HorizonReached;
+            }
+            if self.processed >= self.budget {
+                return RunOutcome::BudgetExhausted;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked entry vanished");
+            debug_assert!(t >= self.now, "event queue went backwards");
+            self.now = t;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                now: self.now,
+                queue: &mut self.queue,
+                stop_requested: &mut stop,
+                clamped: &mut self.clamped,
+            };
+            world.dispatch(ev, &mut sched);
+            if stop {
+                return RunOutcome::Stopped;
+            }
+            // Same-instant drain: O(1) bucket pops instead of full re-peeks.
+            while self.processed < self.budget {
+                let Some(ev) = self.queue.pop_if_at(t) else {
+                    break;
+                };
+                self.processed += 1;
+                let mut sched = Scheduler {
+                    now: self.now,
+                    queue: &mut self.queue,
+                    stop_requested: &mut stop,
+                    clamped: &mut self.clamped,
+                };
+                world.dispatch(ev, &mut sched);
+                if stop {
+                    return RunOutcome::Stopped;
+                }
             }
         }
     }
@@ -203,6 +269,7 @@ impl<E> Engine<E> {
             now: self.now,
             queue: &mut self.queue,
             stop_requested: &mut stop,
+            clamped: &mut self.clamped,
         };
         world.dispatch(ev, &mut sched);
         true
@@ -221,6 +288,7 @@ impl<E> std::fmt::Debug for Engine<E> {
             .field("now", &self.now)
             .field("pending", &self.queue.len())
             .field("processed", &self.processed)
+            .field("clamped_schedules", &self.clamped)
             .finish()
     }
 }
@@ -321,6 +389,116 @@ mod tests {
         assert!(engine.step(&mut w));
         assert!(!engine.step(&mut w));
         assert_eq!(w.seen, vec![(5, 7)]);
+    }
+
+    #[test]
+    fn past_schedules_clamp_and_count_in_all_profiles() {
+        struct PastScheduler {
+            fired: u32,
+        }
+        impl World for PastScheduler {
+            type Ev = u32;
+            fn dispatch(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.fired += 1;
+                if ev == 0 {
+                    // Asks for the past; must run at `now`, not panic.
+                    sched.at(SimTime::ZERO, 1);
+                    sched.at(sched.now(), 2); // not in the past: no clamp
+                }
+            }
+        }
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(100), 0);
+        let mut w = PastScheduler { fired: 0 };
+        assert_eq!(engine.run(&mut w, SimTime::MAX), RunOutcome::Drained);
+        assert_eq!(w.fired, 3);
+        assert_eq!(engine.now(), SimTime::from_nanos(100));
+        assert_eq!(engine.clamped_schedules(), 1);
+    }
+
+    #[test]
+    fn run_batched_matches_run() {
+        struct Fanout {
+            seen: Vec<(u64, u32)>,
+        }
+        impl World for Fanout {
+            type Ev = u32;
+            fn dispatch(&mut self, ev: u32, sched: &mut Scheduler<'_, u32>) {
+                self.seen.push((sched.now().as_nanos(), ev));
+                if ev < 8 {
+                    sched.immediately(ev + 100);
+                    sched.after(SimDuration::from_nanos(u64::from(ev % 3)), ev + 200);
+                }
+            }
+        }
+        let seed = |engine: &mut Engine<u32>| {
+            for i in 0..8 {
+                engine.schedule_at(SimTime::from_nanos(10 * (i % 4)), i as u32);
+            }
+        };
+        let mut plain = Engine::new();
+        seed(&mut plain);
+        let mut w_plain = Fanout { seen: vec![] };
+        assert_eq!(plain.run(&mut w_plain, SimTime::MAX), RunOutcome::Drained);
+
+        let mut batched = Engine::new();
+        seed(&mut batched);
+        let mut w_batched = Fanout { seen: vec![] };
+        assert_eq!(
+            batched.run_batched(&mut w_batched, SimTime::MAX),
+            RunOutcome::Drained
+        );
+        assert_eq!(w_plain.seen, w_batched.seen);
+        assert_eq!(plain.events_processed(), batched.events_processed());
+        assert_eq!(plain.now(), batched.now());
+    }
+
+    #[test]
+    fn run_batched_respects_budget_and_horizon() {
+        struct Loopy;
+        impl World for Loopy {
+            type Ev = ();
+            fn dispatch(&mut self, _: (), sched: &mut Scheduler<'_, ()>) {
+                sched.immediately(());
+            }
+        }
+        let mut engine = Engine::new();
+        engine.set_event_budget(500);
+        engine.schedule_at(SimTime::ZERO, ());
+        assert_eq!(
+            engine.run_batched(&mut Loopy, SimTime::MAX),
+            RunOutcome::BudgetExhausted
+        );
+        assert_eq!(engine.events_processed(), 500);
+
+        let mut engine = Engine::new();
+        engine.schedule_at(SimTime::from_nanos(10), 1u32);
+        engine.schedule_at(SimTime::from_nanos(100), 2);
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: None,
+        };
+        assert_eq!(
+            engine.run_batched(&mut w, SimTime::from_nanos(50)),
+            RunOutcome::HorizonReached
+        );
+        assert_eq!(w.seen, vec![(10, 1)]);
+        assert_eq!(engine.now(), SimTime::from_nanos(50));
+
+        let mut engine = Engine::new();
+        for i in 0..6 {
+            engine.schedule_at(SimTime::from_nanos(7), i as u32);
+        }
+        let mut w = Recorder {
+            seen: vec![],
+            stop_at: Some(3),
+        };
+        assert_eq!(
+            engine.run_batched(&mut w, SimTime::MAX),
+            RunOutcome::Stopped
+        );
+        assert_eq!(w.seen.len(), 4);
+        assert_eq!(engine.pending(), 2);
     }
 
     #[test]

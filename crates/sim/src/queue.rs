@@ -5,12 +5,57 @@
 //! they were pushed. Determinism is essential for the reproducibility of the
 //! fault-injection experiments — a given (configuration, seed) pair must
 //! always produce bit-identical results.
+//!
+//! # Two-level structure
+//!
+//! Nearly all events in a running machine are scheduled a handful of
+//! nanoseconds ahead (link hops, directory occupancies, zero-delay
+//! follow-ups), so the queue is split into two levels:
+//!
+//! * a **near-horizon ring** of [`RING_BUCKETS`] per-tick FIFO buckets
+//!   covering the window `[base_tick, base_tick + RING_BUCKETS)`. The window
+//!   is sized for the dense short-horizon traffic (link hops, controller
+//!   occupancies, zero-delay follow-ups, NAK retries); a push inside it is
+//!   an O(1) append to its tick's bucket, and a two-level occupancy bitmap
+//!   (per-bucket bits plus a summary bit per bitmap word) makes finding the
+//!   next non-empty bucket a handful of word operations even when the
+//!   pending set is sparse. Bucket order is push order, so same-instant
+//!   FIFO tie-breaking is free;
+//! * a **far-horizon overflow** `BinaryHeap` holding everything outside the
+//!   window (memory-op timeouts, watchdogs, fault arming, and the rare
+//!   past-relative push). These are a small fraction of total traffic, so
+//!   heap churn is off the hot path.
+//!
+//! `pop` compares the ring head and the heap top by `(time, seq)`, so the
+//! pop sequence is bit-for-bit identical to the seed repository's single
+//! `BinaryHeap` implementation — which is kept below as a `#[cfg(test)]`
+//! differential-testing oracle.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-/// An entry in the queue: ordered by time, then insertion sequence.
+/// Width of the near-horizon window in ticks (power of two): 2^13 ns ≈ 8.2µs.
+/// Chosen empirically: wide enough for hop/occupancy/retry traffic, small
+/// enough that the ring and its bitmaps stay cache-resident. Widening it to
+/// cover the 50–100µs memory-op timeouts thrashes the cache for no
+/// measurable gain — those pushes are rare and land in the overflow heap.
+const RING_BUCKETS: usize = 1 << 13;
+const RING_MASK: u64 = RING_BUCKETS as u64 - 1;
+const OCC_WORDS: usize = RING_BUCKETS / 64;
+const SUM_WORDS: usize = OCC_WORDS.div_ceil(64);
+
+/// Low `n` bits set (`n` ≤ 64).
+#[inline]
+fn low_mask(n: usize) -> u64 {
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// An entry in the overflow heap: ordered by time, then insertion sequence.
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -55,7 +100,21 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!((t.as_nanos(), ev), (10, "early"));
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Near-horizon buckets, indexed by `tick & RING_MASK`. Within the
+    /// active window each tick maps to a distinct bucket.
+    ring: Vec<VecDeque<(u64, E)>>,
+    /// Occupancy bitmap over `ring` (bit set ⇔ bucket non-empty).
+    occ: Vec<u64>,
+    /// Summary bitmap over `occ` (bit set ⇔ bitmap word non-zero).
+    summary: Vec<u64>,
+    /// Events currently stored in the ring.
+    ring_len: usize,
+    /// First tick of the ring window. No ring entry precedes it.
+    base_tick: u64,
+    /// Tick of the earliest non-empty bucket; valid while `ring_len > 0`.
+    scan_tick: u64,
+    /// Events outside the ring window.
+    overflow: BinaryHeap<Entry<E>>,
     next_seq: u64,
     pushed: u64,
     popped: u64,
@@ -65,11 +124,22 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..RING_BUCKETS).map(|_| VecDeque::new()).collect(),
+            occ: vec![0; OCC_WORDS],
+            summary: vec![0; SUM_WORDS],
+            ring_len: 0,
+            base_tick: 0,
+            scan_tick: 0,
+            overflow: BinaryHeap::new(),
             next_seq: 0,
             pushed: 0,
             popped: 0,
         }
+    }
+
+    #[inline]
+    fn in_window(&self, tick: u64) -> bool {
+        tick >= self.base_tick && tick - self.base_tick < RING_BUCKETS as u64
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -77,30 +147,187 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { time, seq, event });
+        let tick = time.as_nanos();
+        if self.ring_len == 0 {
+            // The ring is empty, so the window can move anywhere; anchor it
+            // at this event.
+            self.base_tick = tick;
+            self.scan_tick = tick;
+        }
+        if self.in_window(tick) {
+            let idx = (tick & RING_MASK) as usize;
+            self.ring[idx].push_back((seq, event));
+            self.occ[idx >> 6] |= 1 << (idx & 63);
+            self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
+            self.ring_len += 1;
+            if tick < self.scan_tick {
+                self.scan_tick = tick;
+            }
+        } else {
+            self.overflow.push(Entry { time, seq, event });
+        }
+    }
+
+    /// The `(tick, seq)` key of the ring head, if the ring is non-empty.
+    #[inline]
+    fn ring_head_key(&self) -> Option<(u64, u64)> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let bucket = &self.ring[(self.scan_tick & RING_MASK) as usize];
+        let (seq, _) = bucket.front().expect("scan bucket empty");
+        Some((self.scan_tick, *seq))
+    }
+
+    /// Whether the next pop should come from the ring rather than the
+    /// overflow heap; `None` when the queue is empty.
+    #[inline]
+    fn ring_pops_next(&self) -> Option<bool> {
+        match (self.ring_head_key(), self.overflow.peek()) {
+            (None, None) => None,
+            (Some(_), None) => Some(true),
+            (None, Some(_)) => Some(false),
+            (Some(rk), Some(top)) => Some(rk < (top.time.as_nanos(), top.seq)),
+        }
+    }
+
+    /// Pops the ring head, advancing `scan_tick` (and sliding the window
+    /// forward) when its bucket empties.
+    fn pop_ring(&mut self) -> (SimTime, E) {
+        let idx = (self.scan_tick & RING_MASK) as usize;
+        let (_, event) = self.ring[idx].pop_front().expect("scan bucket empty");
+        self.ring_len -= 1;
+        let time = SimTime::from_nanos(self.scan_tick);
+        if self.ring[idx].is_empty() {
+            self.occ[idx >> 6] &= !(1 << (idx & 63));
+            if self.occ[idx >> 6] == 0 {
+                self.summary[idx >> 12] &= !(1 << ((idx >> 6) & 63));
+            }
+            if self.ring_len > 0 {
+                self.scan_tick = self.next_occupied(self.scan_tick + 1);
+            }
+        }
+        // No ring entry precedes scan_tick, so the window may slide up to
+        // it, maximising forward reach for subsequent pushes.
+        self.base_tick = self.scan_tick;
+        (time, event)
+    }
+
+    /// Finds the first occupied bucket at tick `from` or later (two-level
+    /// bitmap scan: the summary word skips 4096 empty buckets at a time).
+    /// Requires `ring_len > 0`.
+    fn next_occupied(&self, from: u64) -> u64 {
+        debug_assert!(self.ring_len > 0);
+        let start = (from & RING_MASK) as usize;
+        let len = RING_BUCKETS - (from - self.base_tick) as usize;
+        // The physical scan wraps at most once; split it into two linear
+        // segments.
+        let seg1 = (RING_BUCKETS - start).min(len);
+        if let Some(off) = self.scan_segment(start, seg1) {
+            return from + off as u64;
+        }
+        if len > seg1 {
+            if let Some(off) = self.scan_segment(0, len - seg1) {
+                return from + (seg1 + off) as u64;
+            }
+        }
+        unreachable!("ring_len > 0 but no occupied bucket in the window")
+    }
+
+    /// Scans `count` buckets from physical index `start` (no wrap) and
+    /// returns the offset of the first occupied one.
+    fn scan_segment(&self, start: usize, count: usize) -> Option<usize> {
+        let end = start + count;
+        let mut idx = start;
+        // Partial head word.
+        let bit = idx & 63;
+        if bit != 0 {
+            let take = (64 - bit).min(end - idx);
+            let bits = (self.occ[idx >> 6] >> bit) & low_mask(take);
+            if bits != 0 {
+                return Some(idx + bits.trailing_zeros() as usize - start);
+            }
+            idx += take;
+        }
+        // Word-aligned body: consult the summary to skip runs of empty
+        // bitmap words.
+        while idx < end {
+            let wi = idx >> 6;
+            let sbits = self.summary[wi >> 6] >> (wi & 63);
+            if sbits == 0 {
+                // No occupied word in the rest of this summary word: jump to
+                // the next summary boundary.
+                idx = ((wi >> 6) + 1) << 12;
+                continue;
+            }
+            let wj = wi + sbits.trailing_zeros() as usize;
+            let widx = wj << 6;
+            if widx >= end {
+                return None;
+            }
+            idx = widx;
+            let take = (end - idx).min(64);
+            let bits = self.occ[wj] & low_mask(take);
+            if bits != 0 {
+                return Some(idx + bits.trailing_zeros() as usize - start);
+            }
+            // The only set bits in this word lie beyond `end` (final,
+            // partial word): done with this segment.
+            idx += take;
+        }
+        None
     }
 
     /// Removes and returns the earliest event, or `None` if the queue is
     /// empty. Ties pop in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let e = self.heap.pop()?;
+        let from_ring = self.ring_pops_next()?;
         self.popped += 1;
-        Some((e.time, e.event))
+        if from_ring {
+            Some(self.pop_ring())
+        } else {
+            let e = self.overflow.pop().expect("peeked entry vanished");
+            Some((e.time, e.event))
+        }
+    }
+
+    /// Removes and returns the next event only if it is scheduled exactly at
+    /// `at`; used by `Engine::run_batched` to drain same-instant events
+    /// without re-running the full scheduling loop per event.
+    pub fn pop_if_at(&mut self, at: SimTime) -> Option<E> {
+        match self.ring_pops_next()? {
+            true if self.scan_tick == at.as_nanos() => {
+                self.popped += 1;
+                Some(self.pop_ring().1)
+            }
+            false if self.overflow.peek().expect("peeked entry vanished").time == at => {
+                self.popped += 1;
+                Some(self.overflow.pop().expect("peeked entry vanished").event)
+            }
+            _ => None,
+        }
     }
 
     /// The timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        let ring = self.ring_head_key();
+        let heap = self.overflow.peek().map(|e| (e.time.as_nanos(), e.seq));
+        let key = match (ring, heap) {
+            (None, None) => return None,
+            (Some(k), None) | (None, Some(k)) => k,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        Some(SimTime::from_nanos(key.0))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_len + self.overflow.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever pushed.
@@ -115,7 +342,13 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        for bucket in &mut self.ring {
+            bucket.clear();
+        }
+        self.occ.fill(0);
+        self.summary.fill(0);
+        self.ring_len = 0;
+        self.overflow.clear();
     }
 }
 
@@ -128,16 +361,61 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.len())
+            .field("ring", &self.ring_len)
+            .field("overflow", &self.overflow.len())
             .field("pushed", &self.pushed)
             .field("popped", &self.popped)
             .finish()
     }
 }
 
+/// The seed repository's single-`BinaryHeap` queue, kept verbatim as a
+/// differential-testing oracle for the two-level queue above.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::{Entry, SimTime};
+    use std::collections::BinaryHeap;
+
+    /// Reference implementation: one max-heap over inverted `(time, seq)`.
+    pub(crate) struct HeapQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        next_seq: u64,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub(crate) fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+            }
+        }
+
+        pub(crate) fn push(&mut self, time: SimTime, event: E) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Entry { time, seq, event });
+        }
+
+        pub(crate) fn pop(&mut self) -> Option<(SimTime, E)> {
+            self.heap.pop().map(|e| (e.time, e.event))
+        }
+
+        pub(crate) fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        pub(crate) fn len(&self) -> usize {
+            self.heap.len()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::oracle::HeapQueue;
     use super::*;
+    use crate::rng::DetRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -195,5 +473,127 @@ mod tests {
         assert_eq!(q.pop().unwrap().1, "c");
         assert_eq!(q.pop().unwrap().1, "a");
         assert_eq!(q.pop().unwrap().1, "d");
+    }
+
+    #[test]
+    fn far_pushes_take_the_overflow_path() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32);
+        // Far beyond the ring window.
+        q.push(SimTime::from_nanos(1_000_000), 2);
+        q.push(SimTime::from_nanos(3), 1);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().1, 0);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_000_000)));
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn same_instant_fifo_spans_ring_and_overflow() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32); // anchors the window at tick 0
+        q.push(SimTime::from_nanos(200_000), 1); // outside the window → overflow
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.push(SimTime::from_nanos(150_000), 2); // ring empty → window rebases
+        q.push(SimTime::from_nanos(200_000), 3); // now in window → ring
+                                                 // Seq order at t=200000 must hold across the two levels: 1 before 3.
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(150_000), 2));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(200_000), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_nanos(200_000), 3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_if_at_only_takes_exact_matches() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(5), 'a');
+        q.push(SimTime::from_nanos(5), 'b');
+        q.push(SimTime::from_nanos(6), 'c');
+        assert_eq!(q.pop_if_at(SimTime::from_nanos(4)), None);
+        assert_eq!(q.pop_if_at(SimTime::from_nanos(5)), Some('a'));
+        assert_eq!(q.pop_if_at(SimTime::from_nanos(5)), Some('b'));
+        assert_eq!(q.pop_if_at(SimTime::from_nanos(5)), None);
+        assert_eq!(q.pop_if_at(SimTime::from_nanos(6)), Some('c'));
+        assert_eq!(q.total_popped(), 3);
+    }
+
+    /// Drives the two-level queue and the heap oracle through the same
+    /// random push/pop interleaving and asserts identical pop sequences.
+    fn differential_run(seed: u64, ops: usize) {
+        let mut q = EventQueue::new();
+        let mut o = HeapQueue::new();
+        let mut rng = DetRng::new(seed);
+        let mut now = 0u64;
+        let mut tag = 0u64;
+        for _ in 0..ops {
+            match rng.below(10) {
+                // Push: mixture of near deltas, far deltas, same-instant
+                // bursts, and the occasional past-relative time.
+                0..=5 => {
+                    let t = match rng.below(8) {
+                        0 => now + rng.below(4), // same instant or just ahead
+                        1..=4 => now + rng.below(64),
+                        5 => now + rng.below(1_000_000), // far horizon
+                        6 => now.saturating_sub(rng.below(32)), // in the past
+                        _ => now + (RING_BUCKETS as u64 - 32) + rng.below(64), // window edge
+                    };
+                    let burst = if rng.below(5) == 0 { 4 } else { 1 };
+                    for _ in 0..burst {
+                        q.push(SimTime::from_nanos(t), tag);
+                        o.push(SimTime::from_nanos(t), tag);
+                        tag += 1;
+                    }
+                }
+                // Pop from both and compare.
+                _ => {
+                    assert_eq!(q.peek_time(), o.peek_time(), "peek diverged");
+                    let got = q.pop();
+                    let want = o.pop();
+                    assert_eq!(got, want, "pop diverged (seed {seed})");
+                    if let Some((t, _)) = got {
+                        now = t.as_nanos();
+                    }
+                }
+            }
+            assert_eq!(q.len(), o.len());
+        }
+        // Drain both completely.
+        loop {
+            let got = q.pop();
+            let want = o.pop();
+            assert_eq!(got, want, "drain diverged (seed {seed})");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn differential_vs_heap_oracle() {
+        for seed in 0..32 {
+            differential_run(0xA11CE ^ seed, 4_000);
+        }
+    }
+
+    #[test]
+    fn differential_vs_heap_oracle_pop_if_at() {
+        // Same oracle comparison, but draining through pop_if_at batches the
+        // way run_batched does.
+        let mut q = EventQueue::new();
+        let mut o = HeapQueue::new();
+        let mut rng = DetRng::new(0xD1FF);
+        for i in 0..2_000u64 {
+            let t = SimTime::from_nanos(rng.below(512));
+            q.push(t, i);
+            o.push(t, i);
+        }
+        while let Some((t, ev)) = q.pop() {
+            assert_eq!(o.pop(), Some((t, ev)));
+            while let Some(ev) = q.pop_if_at(t) {
+                assert_eq!(o.pop(), Some((t, ev)), "batched drain diverged");
+            }
+        }
+        assert_eq!(o.pop(), None);
     }
 }

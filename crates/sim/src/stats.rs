@@ -2,10 +2,15 @@
 //! running summaries and fixed-bucket histograms of simulated durations.
 
 use crate::time::SimDuration;
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named set of monotonically increasing event counters.
+///
+/// Counter names are `&'static str` literals, so the hot path (a handful of
+/// counters bumped once per simulated event) scans a small flat vector
+/// comparing *addresses* first — the same call site always passes the same
+/// literal — and falls back to content comparison only for names minted at
+/// a different address (e.g. the same literal in another crate).
 ///
 /// # Examples
 ///
@@ -18,9 +23,10 @@ use std::fmt;
 /// assert_eq!(c.get("packets_sent"), 4);
 /// assert_eq!(c.get("never_touched"), 0);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Counters {
-    values: BTreeMap<&'static str, u64>,
+    /// Insertion-ordered; [`Counters::iter`] sorts on demand.
+    entries: Vec<(&'static str, u64)>,
 }
 
 impl Counters {
@@ -31,7 +37,15 @@ impl Counters {
 
     /// Adds `n` to counter `name`, creating it if absent.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.values.entry(name).or_insert(0) += n;
+        if let Some(e) = self.entries.iter_mut().find(|e| std::ptr::eq(e.0, name)) {
+            e.1 += n;
+            return;
+        }
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == name) {
+            e.1 += n;
+            return;
+        }
+        self.entries.push((name, n));
     }
 
     /// Adds one to counter `name`.
@@ -41,12 +55,18 @@ impl Counters {
 
     /// Reads counter `name`; untouched counters read as zero.
     pub fn get(&self, name: &str) -> u64 {
-        self.values.get(name).copied().unwrap_or(0)
+        self.entries
+            .iter()
+            .find(|e| e.0 == name)
+            .map(|e| e.1)
+            .unwrap_or(0)
     }
 
     /// Iterates over all (name, value) pairs in name order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.values.iter().map(|(k, v)| (*k, *v))
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|e| e.0);
+        sorted.into_iter()
     }
 
     /// Merges another counter set into this one (summing shared names).
@@ -56,6 +76,13 @@ impl Counters {
         }
     }
 }
+
+impl PartialEq for Counters {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+impl Eq for Counters {}
 
 impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
