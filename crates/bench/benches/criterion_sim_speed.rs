@@ -76,6 +76,9 @@ struct FabricWorld {
     target: u64,
     out: Vec<(SimDuration, NetEv)>,
     notes: Vec<DeliveryNote>,
+    // The tracing-disabled path: the committed events/sec floors assume
+    // observability costs nothing when off.
+    obs: flash_obs::Recorder,
 }
 
 impl FabricWorld {
@@ -97,7 +100,7 @@ impl FabricWorld {
     /// Injects one packet from node 0, collecting kick-off events into `evs`.
     fn inject(&mut self, now: SimTime, evs: &mut Vec<(SimDuration, NetEv)>) {
         let pkt = self.make_packet();
-        let _ = self.fab.try_send(NodeId(0), pkt, now, evs);
+        let _ = self.fab.try_send(NodeId(0), pkt, now, evs, &mut self.obs);
     }
 }
 
@@ -108,7 +111,8 @@ impl World for FabricWorld {
         let mut notes = std::mem::take(&mut self.notes);
         out.clear();
         notes.clear();
-        self.fab.handle(ev, sched.now(), &mut out, &mut notes);
+        self.fab
+            .handle(ev, sched.now(), &mut out, &mut notes, &mut self.obs);
         for (d, e) in out.drain(..) {
             sched.after(d, e);
         }
@@ -148,6 +152,7 @@ fn fabric_events(source_routed: bool, deliveries: u64) -> u64 {
         target: deliveries,
         out: Vec::new(),
         notes: Vec::new(),
+        obs: flash_obs::Recorder::disabled(),
     };
     let mut engine: Engine<NetEv> = Engine::new();
     let mut evs = Vec::new();

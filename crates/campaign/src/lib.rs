@@ -238,6 +238,8 @@ mod tests {
                     v.details.hash(&mut h);
                 }
                 rec.trace.hash(&mut h);
+                rec.trace_hash.hash(&mut h);
+                rec.trace_dropped.hash(&mut h);
             }
             r.phase_hits.hash(&mut h);
             r.os_recovery_hits.hash(&mut h);
@@ -261,6 +263,17 @@ mod tests {
             report_hash(&seq),
             report_hash(&par),
             "campaign must be bit-identical across worker counts"
+        );
+        // The per-run merged-trace hashes (FNV-1a over the totally ordered
+        // event stream) must also agree record by record: the structured
+        // trace itself, not just the report, is worker-count independent.
+        let traces = |r: &CampaignReport| -> Vec<u64> {
+            r.records.iter().map(|rec| rec.trace_hash).collect()
+        };
+        assert_eq!(
+            traces(&seq),
+            traces(&par),
+            "merged traces must be identical across 1 and 8 workers"
         );
     }
 

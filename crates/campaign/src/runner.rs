@@ -41,6 +41,17 @@ pub struct RunRecord {
     pub os_recovery_hits: u64,
     /// Rendered machine trace; captured only when violations were found.
     pub trace: String,
+    /// FNV-1a hash of the merged trace (always captured; worker-count
+    /// independent, so campaigns can assert trace determinism cheaply).
+    pub trace_hash: u64,
+    /// Trace records evicted from the bounded recorder rings.
+    pub trace_dropped: u64,
+    /// Flight-recorder tail (last trace events) as a JSON array; captured
+    /// only when violations were found.
+    pub trace_tail_json: String,
+    /// Metrics snapshot as a JSON object; captured only when violations
+    /// were found.
+    pub metrics_json: String,
 }
 
 impl RunRecord {
@@ -116,10 +127,17 @@ fn finalize(
     };
     let mut violations = invariants::check_all(m, &ctx);
     violations.extend(extra);
-    let trace = if violations.is_empty() {
-        String::new()
+    let obs = &m.st().obs;
+    // Flight-recorder mode: the event tail and metrics snapshot are only
+    // materialized for failing runs (the post-mortem input).
+    let (trace, trace_tail_json, metrics_json) = if violations.is_empty() {
+        (String::new(), String::new(), String::new())
     } else {
-        m.st().trace.render()
+        (
+            obs.render(),
+            flash_obs::tail_json(obs, 64),
+            obs.metrics.snapshot_json(),
+        )
     };
     RunRecord {
         schedule: s.clone(),
@@ -130,6 +148,10 @@ fn finalize(
         phase_hits,
         os_recovery_hits,
         trace,
+        trace_hash: obs.merged_hash(),
+        trace_dropped: obs.dropped_total(),
+        trace_tail_json,
+        metrics_json,
     }
 }
 

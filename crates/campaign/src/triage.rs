@@ -136,20 +136,37 @@ fn violations_json(record: &RunRecord) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Renders the full post-mortem JSON document.
+/// Renders the full post-mortem JSON document, including the flight
+/// recorder's event tail and the metrics snapshot of the shrunk run.
 pub fn post_mortem_json(report: &TriageReport) -> String {
+    let rec = &report.shrunk_record;
+    let tail = if rec.trace_tail_json.is_empty() {
+        "[]"
+    } else {
+        &rec.trace_tail_json
+    };
+    let metrics = if rec.metrics_json.is_empty() {
+        "{}"
+    } else {
+        &rec.metrics_json
+    };
     format!(
         "{{\n  \"seed\": {},\n  \"reproduced\": {},\n  \"violations\": {},\n  \
          \"schedule\": {},\n  \"shrunk_schedule\": {},\n  \"shrunk_violations\": {},\n  \
-         \"probe_runs\": {},\n  \"trace\": \"{}\"\n}}\n",
+         \"probe_runs\": {},\n  \"trace_hash\": {},\n  \"trace_dropped\": {},\n  \
+         \"trace_tail\": {},\n  \"metrics\": {},\n  \"trace\": \"{}\"\n}}\n",
         report.original.schedule.seed,
         report.reproduced,
         violations_json(&report.original),
         report.original.schedule.to_json(),
         report.shrunk.to_json(),
-        violations_json(&report.shrunk_record),
+        violations_json(rec),
         report.probe_runs,
-        json_escape(&report.shrunk_record.trace)
+        rec.trace_hash,
+        rec.trace_dropped,
+        tail,
+        metrics,
+        json_escape(&rec.trace)
     )
 }
 

@@ -152,6 +152,26 @@ impl CohMsg {
         }
     }
 
+    /// Stable snake-case label, used by the observability layer as the
+    /// handler name for dispatch events.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            CohMsg::Get { .. } => "get",
+            CohMsg::GetX { .. } => "getx",
+            CohMsg::UpgradeReq { .. } => "upgrade_req",
+            CohMsg::UpgradeAck { .. } => "upgrade_ack",
+            CohMsg::Put { .. } => "put",
+            CohMsg::PutAck { .. } => "put_ack",
+            CohMsg::Inval { .. } => "inval",
+            CohMsg::InvalAck { .. } => "inval_ack",
+            CohMsg::Fetch { .. } => "fetch",
+            CohMsg::Data { .. } => "data",
+            CohMsg::Nak { .. } => "nak",
+            CohMsg::IncoherentErr { .. } => "incoherent_err",
+            CohMsg::FirewallErr { .. } => "firewall_err",
+        }
+    }
+
     /// Whether this message carries the only valid copy of a line (its loss
     /// makes the line incoherent).
     pub fn carries_sole_copy(&self) -> bool {

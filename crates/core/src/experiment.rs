@@ -74,6 +74,9 @@ pub struct ExperimentOutcome {
     pub end_time: SimTime,
     /// Whether the experiment ran to quiescence within its budget.
     pub finished: bool,
+    /// Trace records evicted from the bounded recorder rings during the run
+    /// (0 means the captured trace is complete).
+    pub trace_dropped: u64,
 }
 
 impl ExperimentOutcome {
@@ -136,12 +139,17 @@ pub fn run_fault_experiment(cfg: &ExperimentConfig, fault: FaultSpec) -> Experim
     let finished = outcome == RunOutcome::Drained;
 
     let bus_errors = m.st().counters.get("bus_errors");
+    let (busy_ns, services) = m.st().occupancy_totals();
+    let st = m.st_mut();
+    st.obs.metrics.add("magic_busy_ns_total", busy_ns);
+    st.obs.metrics.add("magic_services_total", services);
     ExperimentOutcome {
         validation: m.st().validate(),
         recovery: m.ext().report.clone(),
         bus_errors,
         end_time: m.now(),
         finished,
+        trace_dropped: m.st().obs.dropped_total(),
     }
 }
 

@@ -166,6 +166,15 @@ impl RecoveryExt {
         ok: bool,
         sched: Sched<'_, '_>,
     ) {
+        st.obs.record(
+            flash_obs::Domain::Recovery,
+            sched.now(),
+            flash_obs::TraceEvent::BarrierRound {
+                node,
+                barrier: id.label(),
+                ok,
+            },
+        );
         self.bump_progress(st, node, sched);
         match id {
             BarrierId::Drain1 => {

@@ -22,6 +22,14 @@ impl RecoveryExt {
         if inc > self.max_inc {
             if self.max_inc >= 1 {
                 self.report.restarts += 1;
+                st.obs.record(
+                    flash_obs::Domain::Recovery,
+                    sched.now(),
+                    flash_obs::TraceEvent::RecoveryRestart {
+                        node,
+                        incarnation: inc,
+                    },
+                );
             }
             self.max_inc = inc;
             // A restart invalidates earlier completion bookkeeping.
@@ -47,12 +55,14 @@ impl RecoveryExt {
             self.report.phases.triggered_at = Some(sched.now());
         }
         st.counters.incr("recovery_starts");
-        st.trace.record(
+        st.obs.record(
+            flash_obs::Domain::Recovery,
             sched.now(),
-            flash_machine::TraceEvent::Note(
-                "recovery_start(node,inc)",
-                ((node as u64) << 32) | inc as u64,
-            ),
+            flash_obs::TraceEvent::PhaseEnter {
+                node,
+                phase: 1,
+                incarnation: inc,
+            },
         );
         self.started.insert(node);
         if self.report.wave_complete_at.is_none() && self.done_for_all(st, &self.started.clone()) {
@@ -182,6 +192,7 @@ impl RecoveryExt {
         if self.entries.p2.is_none() {
             self.entries.p2 = Some(sched.now());
         }
+        self.record_phase_edge(st, node, 1, 2, sched.now());
         self.done_p1.insert(node);
         self.mark_phase_progress(st, sched.now());
         self.bump_progress(st, node, sched);

@@ -326,6 +326,32 @@ impl RecoveryExt {
         st.send_recovery(NodeId(from), NodeId(to), route, lane, msg, sched);
     }
 
+    /// Records a P`from`→P`to` transition for `node` in the Recovery trace
+    /// domain; `to == 0` records only the exit (recovery complete).
+    fn record_phase_edge(&self, st: &mut St, node: u16, from: u8, to: u8, now: SimTime) {
+        let incarnation = self.nodes[node as usize].inc;
+        st.obs.record(
+            flash_obs::Domain::Recovery,
+            now,
+            flash_obs::TraceEvent::PhaseExit {
+                node,
+                phase: from,
+                incarnation,
+            },
+        );
+        if to != 0 {
+            st.obs.record(
+                flash_obs::Domain::Recovery,
+                now,
+                flash_obs::TraceEvent::PhaseEnter {
+                    node,
+                    phase: to,
+                    incarnation,
+                },
+            );
+        }
+    }
+
     fn bump_progress(&mut self, st: &St, node: u16, sched: Sched<'_, '_>) {
         let rec = &mut self.nodes[node as usize];
         rec.progress += 1;

@@ -17,10 +17,7 @@ impl RecoveryExt {
     // ------------------------------------------------------------------
 
     pub(super) fn enter_p3(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
-        st.trace.record(
-            sched.now(),
-            flash_machine::TraceEvent::Note("enter_p3(node)", node as u64),
-        );
+        self.record_phase_edge(st, node, 2, 3, sched.now());
         self.done_p2.insert(node);
         self.mark_phase_progress(st, sched.now());
         if self.entries.p3.is_none() {
@@ -172,6 +169,7 @@ impl RecoveryExt {
     // ------------------------------------------------------------------
 
     pub(super) fn start_flush(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        self.record_phase_edge(st, node, 3, 4, sched.now());
         self.done_p3.insert(node);
         self.mark_phase_progress(st, sched.now());
         if self.report.p4_started_at.is_none() {
@@ -248,10 +246,7 @@ impl RecoveryExt {
     }
 
     pub(super) fn complete_recovery(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
-        st.trace.record(
-            sched.now(),
-            flash_machine::TraceEvent::Note("recovery_complete(node)", node as u64),
-        );
+        self.record_phase_edge(st, node, 4, 0, sched.now());
         let view = self.nodes[node as usize].view.clone();
         let doomed = {
             let effective = self.effective_live(&view);

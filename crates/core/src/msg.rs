@@ -29,6 +29,17 @@ impl BarrierId {
         BarrierId::Flush,
         BarrierId::Scan,
     ];
+
+    /// Stable snake-case label, used by the observability layer.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BarrierId::Drain1 => "drain1",
+            BarrierId::Drain2 => "drain2",
+            BarrierId::Routes => "routes",
+            BarrierId::Flush => "flush",
+            BarrierId::Scan => "scan",
+        }
+    }
 }
 
 /// A recovery-algorithm message. Every message carries the sender's

@@ -173,6 +173,21 @@ pub fn run_parallel_make(
 
     // OS recovery (Section 4.6): page reinitialization + modeled cost.
     let failed_cells = layout.failed_cells(&m.st().failed_nodes);
+    {
+        let now = m.now();
+        let st = m.st_mut();
+        for &cell in &failed_cells {
+            st.obs.record(
+                flash_obs::Domain::Hive,
+                now,
+                flash_obs::TraceEvent::HiveCell {
+                    cell: cell as u16,
+                    what: "cell_failed",
+                    value: layout.members(cell).len() as u64,
+                },
+            );
+        }
+    }
     let lines_reinitialized = if fault.is_some() {
         os::os_recover(&mut m)
     } else {

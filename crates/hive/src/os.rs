@@ -105,6 +105,21 @@ pub fn configure(m: &mut FcMachine, layout: &CellLayout, _cfg: &HiveConfig) -> H
     );
     // Failure units drive clean cell shutdown in the recovery algorithm.
     m.ext_mut().set_failure_units(layout.units());
+    {
+        let now = m.now();
+        let st = m.st_mut();
+        for cell in 0..layout.num_cells() {
+            st.obs.record(
+                flash_obs::Domain::Hive,
+                now,
+                flash_obs::TraceEvent::HiveCell {
+                    cell: cell as u16,
+                    what: "cell_configured",
+                    value: layout.boot_node(cell).0 as u64,
+                },
+            );
+        }
+    }
 
     let lines_per_node = m.st().layout.lines_per_node();
     let pages_per_node = lines_per_node / LINES_PER_PAGE;
@@ -172,6 +187,7 @@ pub fn own_region(node: NodeId, lines_per_node: u64, protected_lines: u64) -> (u
 /// lines reinitialized.
 pub fn os_recover(m: &mut FcMachine) -> u64 {
     let mut cleared = 0;
+    let now = m.now();
     let n = m.st().num_nodes();
     for i in 0..n {
         if !m.st().nodes[i].is_alive() {
@@ -197,6 +213,14 @@ pub fn os_recover(m: &mut FcMachine) -> u64 {
         }
         st.nodes[i].os_interrupt_pending = false;
     }
+    m.st_mut().obs.record(
+        flash_obs::Domain::Hive,
+        now,
+        flash_obs::TraceEvent::OsEvent {
+            what: "os_recover_lines",
+            value: cleared,
+        },
+    );
     cleared
 }
 

@@ -50,6 +50,35 @@ impl FaultSpec {
         }
     }
 
+    /// Stable snake-case label for this fault kind, used by the
+    /// observability layer ([`FaultSpec::Multi`] members are recorded
+    /// individually).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            FaultSpec::Node(_) => "node",
+            FaultSpec::Router(_) => "router",
+            FaultSpec::Link(..) => "link",
+            FaultSpec::InfiniteLoop(_) => "infinite_loop",
+            FaultSpec::FirmwareAssertion(_) => "firmware_assertion",
+            FaultSpec::FalseAlarm(_) => "false_alarm",
+            FaultSpec::Multi(_) => "multi",
+        }
+    }
+
+    /// A representative node for trace attribution: the first doomed node,
+    /// the false-alarm victim, or a link fault's first endpoint.
+    pub fn primary_node(&self) -> u16 {
+        match self {
+            FaultSpec::Node(n)
+            | FaultSpec::InfiniteLoop(n)
+            | FaultSpec::FirmwareAssertion(n)
+            | FaultSpec::FalseAlarm(n) => n.0,
+            FaultSpec::Router(r) => r.0,
+            FaultSpec::Link(a, _) => a.0,
+            FaultSpec::Multi(list) => list.first().map(|f| f.primary_node()).unwrap_or(0),
+        }
+    }
+
     /// Whether this is the no-fault false-alarm case.
     pub fn is_false_alarm(&self) -> bool {
         match self {

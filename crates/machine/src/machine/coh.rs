@@ -3,13 +3,13 @@
 //! error replies).
 
 use super::proc::ProcHandlers;
-use super::stats::TraceEvent;
 use super::{Ev, MachineState};
 use crate::node::ProcState;
 use crate::workload::OpResult;
 use flash_coherence::{CohMsg, HomeIn, LineAddr};
 use flash_magic::{BusError, MagicMode, Trigger};
 use flash_net::NodeId;
+use flash_obs::{Domain, TraceEvent};
 use flash_sim::{Scheduler, SimDuration};
 
 /// Coherence-message servicing, implemented on [`MachineState`]: the
@@ -107,6 +107,15 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
                             .occupy(now, SimDuration::from_nanos(costs.getx_ns + fw_cost));
                         if !st.nodes[n as usize].firewall.may_write(line.page(), from) {
                             st.counters.incr("firewall_denials");
+                            st.obs.record(
+                                Domain::Coherence,
+                                now,
+                                TraceEvent::CohTransition {
+                                    node: n,
+                                    line: line.0,
+                                    what: "firewall_denied",
+                                },
+                            );
                             st.send_coh(NodeId(n), from, CohMsg::FirewallErr { line }, sched);
                             return;
                         }
@@ -556,11 +565,12 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
         node.current_op = None;
         node.workload.on_result(NodeId(n), OpResult::BusError(err));
         st.counters.incr("bus_errors");
-        st.trace.record(
+        st.obs.record(
+            Domain::Machine,
             sched.now(),
             TraceEvent::BusErrorRaised {
-                node: NodeId(n),
-                err,
+                node: n,
+                err: err.kind_str(),
             },
         );
         let resume = st.nodes[n as usize].occupancy.busy_until();

@@ -2,7 +2,6 @@
 //! ([`MachineState::apply_fault`]) and the dispatch-side handler that
 //! routes the accompanying triggers to the extension.
 
-use super::stats::TraceEvent;
 use super::world::MachineWorld;
 use super::{Ev, Extension, MachineState};
 use crate::fault::FaultSpec;
@@ -10,6 +9,7 @@ use crate::node::ProcState;
 use flash_coherence::LineAddr;
 use flash_magic::{MagicMode, Trigger};
 use flash_net::NodeId;
+use flash_obs::{Domain, TraceEvent};
 use flash_sim::{Scheduler, SimDuration, SimTime};
 
 impl<R: Clone + std::fmt::Debug> MachineState<R> {
@@ -83,15 +83,22 @@ pub(crate) trait FaultHandlers<X: Extension> {
 impl<X: Extension> FaultHandlers<X> for MachineWorld<X> {
     fn handle_fault(&mut self, spec: FaultSpec, sched: &mut Scheduler<'_, Ev<X::Ev>>) {
         self.st.counters.incr("faults_injected");
-        self.st
-            .trace
-            .record(sched.now(), TraceEvent::Fault(spec.clone()));
-        self.st.apply_fault(&spec, sched.now());
         let mut singles: Vec<&FaultSpec> = Vec::new();
         match &spec {
             FaultSpec::Multi(list) => singles.extend(list.iter()),
             other => singles.push(other),
         }
+        for f in &singles {
+            self.st.obs.record(
+                Domain::Machine,
+                sched.now(),
+                TraceEvent::FaultInjected {
+                    kind: f.kind_str(),
+                    node: f.primary_node(),
+                },
+            );
+        }
+        self.st.apply_fault(&spec, sched.now());
         for f in singles {
             match f {
                 FaultSpec::FalseAlarm(n) => {

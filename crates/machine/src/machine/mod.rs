@@ -16,7 +16,11 @@
 //! * [`recovery`] — the recovery-support operations the extension drives
 //!   (mode switches, cache flush, router reprogramming, resume);
 //! * [`inject`] — fault arming and ground-truth mutation;
-//! * [`stats`] — the debug trace and post-recovery validation.
+//! * [`stats`] — the post-recovery validation pass.
+//!
+//! Notable events are recorded through the [`flash_obs::Recorder`] owned by
+//! [`MachineState`]; exporters in `flash-obs` turn it into Chrome-trace JSON
+//! and per-node recovery timelines.
 //!
 //! ## Modeling notes
 //!
@@ -36,7 +40,6 @@ mod stats;
 mod tests;
 mod world;
 
-pub use stats::TraceEvent;
 pub use world::MachineWorld;
 
 use crate::fault::FaultSpec;
@@ -181,9 +184,9 @@ pub struct MachineState<R> {
     pub counters: Counters,
     /// Ground-truth set of failed nodes (fault injector's view).
     pub failed_nodes: NodeSet,
-    /// Debug trace of notable events (bounded; see
-    /// [`flash_sim::TraceBuffer`]).
-    pub trace: flash_sim::TraceBuffer<TraceEvent>,
+    /// Structured event recorder + metrics (bounded per-domain rings; see
+    /// [`flash_obs::Recorder`]).
+    pub obs: flash_obs::Recorder,
     next_unc_tag: u64,
 }
 
@@ -235,7 +238,7 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
             oracle: Oracle::new(),
             counters: Counters::new(),
             failed_nodes: NodeSet::new(),
-            trace: flash_sim::TraceBuffer::new(512),
+            obs: flash_obs::Recorder::new(),
             next_unc_tag: 0,
         }
     }
@@ -252,10 +255,7 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
     #[track_caller]
     pub fn invariant_failure(&self, what: &str) -> ! {
         eprintln!("machine invariant violated: {what}");
-        eprintln!(
-            "--- recent trace (oldest first) ---\n{}",
-            self.trace.render()
-        );
+        eprintln!("--- recent trace (oldest first) ---\n{}", self.obs.render());
         panic!("machine invariant violated: {what}");
     }
 
@@ -384,6 +384,38 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
     pub fn proc_state(&self, node: NodeId) -> ProcState {
         self.nodes[node.index()].proc
     }
+
+    /// Records a handler dispatch in the Magic trace domain and feeds the
+    /// handler-cost histogram. No-ops cheaply when the domain and metrics
+    /// are disabled (the default for the Magic domain).
+    pub(crate) fn record_dispatch(
+        &mut self,
+        node: u16,
+        handler: &'static str,
+        cost_ns: u64,
+        now: SimTime,
+    ) {
+        self.obs.record(
+            flash_obs::Domain::Magic,
+            now,
+            flash_obs::TraceEvent::HandlerDispatch {
+                node,
+                handler,
+                cost_ns,
+            },
+        );
+        self.obs
+            .metrics
+            .observe("magic_handler_ns", SimDuration::from_nanos(cost_ns));
+    }
+
+    /// Total controller busy time and services across all nodes, for
+    /// end-of-run occupancy attribution.
+    pub fn occupancy_totals(&self) -> (u64, u64) {
+        self.nodes.iter().fold((0, 0), |(b, s), n| {
+            (b + n.occupancy.busy_ns(), s + n.occupancy.services())
+        })
+    }
 }
 
 /// A complete simulated machine with its event engine.
@@ -428,13 +460,25 @@ impl<X: Extension> Machine<X> {
     /// pump draining a queue, a delivery waking several handlers) are popped
     /// without re-consulting the far-horizon structure between them.
     pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        self.sample_queue_depth();
         self.engine.run_batched(&mut self.world, horizon)
     }
 
     /// Runs for the given additional duration.
     pub fn run_for(&mut self, d: SimDuration) -> RunOutcome {
         let h = self.engine.now() + d;
+        self.sample_queue_depth();
         self.engine.run_batched(&mut self.world, h)
+    }
+
+    /// Feeds the engine's pending-event count into the queue-depth
+    /// histogram (one sample per run slice — cheap, not per event).
+    fn sample_queue_depth(&mut self) {
+        self.world
+            .st
+            .obs
+            .metrics
+            .observe_count("engine_queue_depth", self.engine.pending() as u64);
     }
 
     /// Schedules a fault at an absolute time.

@@ -1,36 +1,11 @@
-//! Accounting: the bounded debug trace of notable machine events and the
-//! post-recovery validation pass against the oracle (Table 5.3).
+//! Accounting: the post-recovery validation pass against the oracle
+//! (Table 5.3). Event tracing lives in [`flash_obs`]; the recorder is the
+//! `obs` field of [`MachineState`].
 
 use super::MachineState;
-use crate::fault::FaultSpec;
 use crate::oracle::ValidationReport;
 use crate::payload::Payload;
 use flash_coherence::{DirState, LineAddr};
-use flash_magic::{BusError, Trigger};
-use flash_net::NodeId;
-
-/// A notable machine-level event retained in the debug trace.
-#[derive(Clone, Debug)]
-pub enum TraceEvent {
-    /// A fault was injected.
-    Fault(FaultSpec),
-    /// A hardware recovery trigger fired on a node.
-    Trigger {
-        /// The detecting node.
-        node: NodeId,
-        /// The trigger kind.
-        trig: Trigger,
-    },
-    /// A bus error was raised to a processor.
-    BusErrorRaised {
-        /// The erroring node.
-        node: NodeId,
-        /// The cause.
-        err: BusError,
-    },
-    /// Free-form annotation (recovery phases, experiment markers).
-    Note(&'static str, u64),
-}
 
 impl<R: Clone + std::fmt::Debug> MachineState<R> {
     /// Post-recovery validation against the oracle (the check of Table 5.3):

@@ -7,13 +7,13 @@
 use super::coh::CohHandlers;
 use super::inject::FaultHandlers;
 use super::proc::ProcHandlers;
-use super::stats::TraceEvent;
 use super::{Ev, Extension, MachineState};
 use crate::node::{OutPkt, ProcState};
 use crate::payload::Payload;
 use flash_coherence::{CohMsg, LineAddr};
 use flash_magic::Trigger;
 use flash_net::{DeliveryNote, Lane, NetEv, NodeId, Packet, Route, SendError};
+use flash_obs::{Domain, TraceEvent};
 use flash_sim::{Scheduler, SimDuration, SimTime, World};
 
 /// The [`World`] implementation: machine state + extension.
@@ -68,9 +68,13 @@ impl<X: Extension> World for MachineWorld<X> {
         match ev {
             Ev::Net(e) => {
                 debug_assert!(self.net_out.is_empty() && self.deliveries.is_empty());
-                self.st
-                    .fabric
-                    .handle(e, sched.now(), &mut self.net_out, &mut self.deliveries);
+                self.st.fabric.handle(
+                    e,
+                    sched.now(),
+                    &mut self.net_out,
+                    &mut self.deliveries,
+                    &mut self.st.obs,
+                );
                 for (d, e) in self.net_out.drain(..) {
                     sched.after(d, Ev::Net(e));
                 }
@@ -100,20 +104,17 @@ impl<X: Extension> World for MachineWorld<X> {
                         ProcState::WaitMiss { line, .. } => line,
                         _ => LineAddr(0),
                     };
+                    let trig = Trigger::MemOpTimeout { line };
                     self.st.counters.incr("timeout_triggers");
-                    self.st.trace.record(
+                    self.st.obs.record(
+                        Domain::Machine,
                         sched.now(),
-                        TraceEvent::Trigger {
-                            node: NodeId(node),
-                            trig: Trigger::MemOpTimeout { line },
+                        TraceEvent::TriggerFired {
+                            node,
+                            trigger: trig.kind_str(),
                         },
                     );
-                    self.ext.on_trigger(
-                        &mut self.st,
-                        NodeId(node),
-                        Trigger::MemOpTimeout { line },
-                        sched,
-                    );
+                    self.ext.on_trigger(&mut self.st, NodeId(node), trig, sched);
                 }
             }
             Ev::NakRetry { node, epoch } => {
@@ -136,11 +137,12 @@ impl<X: Extension> World for MachineWorld<X> {
             Ev::Fault(spec) => self.handle_fault(spec, sched),
             Ev::TriggerNow { node, trig } => {
                 if self.st.nodes[node as usize].is_alive() {
-                    self.st.trace.record(
+                    self.st.obs.record(
+                        Domain::Machine,
                         sched.now(),
-                        TraceEvent::Trigger {
-                            node: NodeId(node),
-                            trig,
+                        TraceEvent::TriggerFired {
+                            node,
+                            trigger: trig.kind_str(),
                         },
                     );
                     self.ext.on_trigger(&mut self.st, NodeId(node), trig, sched);
@@ -222,11 +224,21 @@ impl<X: Extension> NodeHandlers<X> for MachineWorld<X> {
                 .occupancy
                 .occupy(now, SimDuration::from_nanos(costs.error_ns));
             st.counters.incr("truncated_dispatches");
+            st.record_dispatch(n, "error", costs.error_ns, now);
             // A data-carrying coherence packet that was truncated names the
             // line whose data flits were lost; it can be marked directly.
             if let Payload::Coh(CohMsg::Put { line, .. } | CohMsg::Data { line, .. }) = pkt.payload
             {
                 st.oracle.allow_incoherent(line);
+                st.obs.record(
+                    Domain::Coherence,
+                    now,
+                    TraceEvent::CohTransition {
+                        node: n,
+                        line: line.0,
+                        what: "truncation_incoherent",
+                    },
+                );
             }
             self.ext
                 .on_trigger(st, NodeId(n), Trigger::TruncatedPacket, sched);
@@ -237,10 +249,25 @@ impl<X: Extension> NodeHandlers<X> for MachineWorld<X> {
                 st.nodes[n as usize]
                     .occupancy
                     .occupy(now, SimDuration::from_nanos(costs.recovery_msg_ns));
+                st.record_dispatch(n, "rec", costs.recovery_msg_ns, now);
                 self.ext.on_recovery_msg(st, NodeId(n), pkt.src, msg, sched);
             }
-            Payload::Coh(msg) => st.process_coh(n, pkt.src, msg, sched),
-            Payload::Unc(msg) => st.process_unc(n, pkt.src, msg, sched),
+            Payload::Coh(msg) => {
+                // The handler's charged cost is only known after dispatch
+                // (mode and firewall dependent); the occupancy accumulator
+                // delta recovers it without touching the handlers.
+                let handler = msg.kind_str();
+                let before = st.nodes[n as usize].occupancy.busy_ns();
+                st.process_coh(n, pkt.src, msg, sched);
+                let cost_ns = st.nodes[n as usize].occupancy.busy_ns() - before;
+                st.record_dispatch(n, handler, cost_ns, now);
+            }
+            Payload::Unc(msg) => {
+                let before = st.nodes[n as usize].occupancy.busy_ns();
+                st.process_unc(n, pkt.src, msg, sched);
+                let cost_ns = st.nodes[n as usize].occupancy.busy_ns() - before;
+                st.record_dispatch(n, "unc", cost_ns, now);
+            }
         }
     }
 
@@ -273,11 +300,13 @@ impl<X: Extension> NodeHandlers<X> for MachineWorld<X> {
                 None => Packet::table_routed(NodeId(n), head.dst, lane, head.flits, head.payload),
             };
             debug_assert!(self.net_out.is_empty());
-            match self
-                .st
-                .fabric
-                .try_send(NodeId(n), packet, now, &mut self.net_out)
-            {
+            match self.st.fabric.try_send(
+                NodeId(n),
+                packet,
+                now,
+                &mut self.net_out,
+                &mut self.st.obs,
+            ) {
                 Ok(_) => {
                     for (d, e) in self.net_out.drain(..) {
                         sched.after(d, Ev::Net(e));

@@ -132,6 +132,20 @@ pub enum BusError {
     UncachedUnresolved,
 }
 
+impl BusError {
+    /// Stable snake-case label, used by the observability layer.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            BusError::DeadHome => "dead_home",
+            BusError::Incoherent => "incoherent",
+            BusError::FirewallDenied => "firewall_denied",
+            BusError::RangeViolation => "range_violation",
+            BusError::ForeignUncachedIo => "foreign_uncached_io",
+            BusError::UncachedUnresolved => "uncached_unresolved",
+        }
+    }
+}
+
 /// The events that trigger the hardware recovery algorithm (Table 4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Trigger {
@@ -155,6 +169,20 @@ pub enum Trigger {
     /// Recovery was triggered externally without any fault (the
     /// "false alarm" experiment of Table 5.2).
     FalseAlarm,
+}
+
+impl Trigger {
+    /// Stable snake-case label, used by the observability layer.
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Trigger::MemOpTimeout { .. } => "mem_op_timeout",
+            Trigger::NakOverflow { .. } => "nak_overflow",
+            Trigger::AssertionFailure => "assertion_failure",
+            Trigger::TruncatedPacket => "truncated_packet",
+            Trigger::PingReceived => "ping_received",
+            Trigger::FalseAlarm => "false_alarm",
+        }
+    }
 }
 
 /// The hardware NAK counter in the processor interface: counts unsuccessful
@@ -271,6 +299,8 @@ impl OutstandingOp {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Occupancy {
     busy_until: SimTime,
+    busy_ns: u64,
+    services: u64,
 }
 
 impl Occupancy {
@@ -293,12 +323,25 @@ impl Occupancy {
             self.busy_until
         };
         self.busy_until = start + cost;
+        self.busy_ns += cost.as_nanos();
+        self.services += 1;
         self.busy_until
     }
 
     /// The time the controller becomes idle.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
+    }
+
+    /// Total nanoseconds of occupancy charged so far (the utilization
+    /// numerator reported by the observability layer).
+    pub fn busy_ns(&self) -> u64 {
+        self.busy_ns
+    }
+
+    /// Number of handler services charged so far.
+    pub fn services(&self) -> u64 {
+        self.services
     }
 }
 
@@ -364,6 +407,9 @@ mod tests {
         // After going idle, the next handler starts at its arrival time.
         let d3 = occ.occupy(SimTime::from_nanos(500), SimDuration::from_nanos(10));
         assert_eq!(d3, SimTime::from_nanos(510));
+        // Accumulated occupancy counts busy time, not idle gaps.
+        assert_eq!(occ.busy_ns(), 230);
+        assert_eq!(occ.services(), 3);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::packet::{Packet, Route};
 use crate::routing::{Hop, RoutingTables};
 use crate::slab::{PacketMeta, PacketSlab};
 use crate::topology::Topology;
+use flash_obs::{Domain, Recorder, TraceEvent};
 use flash_sim::{Counters, SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -319,6 +320,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
         mut pkt: Packet<P>,
         now: SimTime,
         out: &mut Vec<(SimDuration, NetEv)>,
+        obs: &mut Recorder,
     ) -> Result<PacketId, SendError<P>> {
         let lane = pkt.lane;
         let q = &mut self.inj_queues[node.index()][lane.index()];
@@ -333,16 +335,30 @@ impl<P: std::fmt::Debug> Fabric<P> {
         }
         q.flits += pkt.flits;
         let newly_head = q.q.is_empty();
+        let (dst, flits) = (pkt.dst, pkt.flits);
         q.q.push_back(pkt);
         self.counters.incr("packets_sent");
+        obs.record(
+            Domain::Net,
+            now,
+            TraceEvent::PacketSent {
+                src: node.0,
+                dst: dst.0,
+                lane: lane.index() as u8,
+                flits,
+            },
+        );
         // Only an idle queue needs a kick: a non-empty queue already has a
         // TryMove/Arrived chain in flight that will reach this packet.
         if newly_head {
+            obs.metrics.incr("net_trymove_kicks");
             q.head_since = now;
             out.push((
                 SimDuration::ZERO,
                 NetEv::TryMove(QueueRef::Inj { node: node.0 }, lane),
             ));
+        } else {
+            obs.metrics.incr("net_trymove_coalesced");
         }
         Ok(id)
     }
@@ -355,10 +371,11 @@ impl<P: std::fmt::Debug> Fabric<P> {
         now: SimTime,
         out: &mut Vec<(SimDuration, NetEv)>,
         delivered: &mut Vec<DeliveryNote>,
+        obs: &mut Recorder,
     ) {
         match ev {
-            NetEv::TryMove(qr, lane) => self.try_move(qr, lane, now, out),
-            NetEv::Arrived(qr, lane) => self.arrived(qr, lane, now, out, delivered),
+            NetEv::TryMove(qr, lane) => self.try_move(qr, lane, now, out, obs),
+            NetEv::Arrived(qr, lane) => self.arrived(qr, lane, now, out, delivered, obs),
         }
     }
 
@@ -592,7 +609,13 @@ impl<P: std::fmt::Debug> Fabric<P> {
             .map(|i| i as u8)
     }
 
-    fn drop_packet(&mut self, pkt: Packet<P>, reason: &'static str) {
+    fn drop_packet(
+        &mut self,
+        pkt: Packet<P>,
+        reason: &'static str,
+        now: SimTime,
+        obs: &mut Recorder,
+    ) {
         if let Some(meta) = self.slab.release(pkt.id) {
             self.counters
                 .add("links_crossed", u64::from(meta.links_crossed));
@@ -602,6 +625,8 @@ impl<P: std::fmt::Debug> Fabric<P> {
         }
         self.counters.incr(reason);
         self.counters.incr("packets_dropped");
+        obs.record(Domain::Net, now, TraceEvent::PacketDropped { reason });
+        obs.metrics.incr("net_packets_dropped");
         // Keep a bounded log of dropped packets: the incoherence oracle
         // inspects it for lost sole-copy writebacks and grants.
         if pkt.lane.is_coherence() && self.dropped.len() < 1_000_000 {
@@ -615,6 +640,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
         lane: Lane,
         now: SimTime,
         out: &mut Vec<(SimDuration, NetEv)>,
+        obs: &mut Recorder,
     ) {
         // A dead router's buffers are lost: drain everything.
         if let QueueRef::Out { router, .. } = qr {
@@ -626,7 +652,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
                     q.q.drain(..).collect()
                 };
                 for pkt in drained {
-                    self.drop_packet(pkt, "drop_dead_router_buffer");
+                    self.drop_packet(pkt, "drop_dead_router_buffer", now, obs);
                 }
                 return;
             }
@@ -641,7 +667,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
                     q.q.drain(..).collect()
                 };
                 for pkt in drained {
-                    self.drop_packet(pkt, "drop_dead_router_buffer");
+                    self.drop_packet(pkt, "drop_dead_router_buffer", now, obs);
                 }
                 return;
             }
@@ -681,7 +707,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
             } else {
                 "drop_dead_router"
             };
-            self.drop_packet(pkt, reason);
+            self.drop_packet(pkt, reason, now, obs);
             if more {
                 out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
             }
@@ -722,7 +748,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
                     let more = !q.q.is_empty();
                     (pkt, more)
                 };
-                self.drop_packet(pkt, "drop_stall_discard");
+                self.drop_packet(pkt, "drop_stall_discard", now, obs);
                 if more {
                     out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
                 }
@@ -745,7 +771,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 let more = !q.q.is_empty();
                 (pkt, more)
             };
-            self.drop_packet(pkt, reason);
+            self.drop_packet(pkt, reason, now, obs);
             if more {
                 out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
             }
@@ -781,6 +807,7 @@ impl<P: std::fmt::Debug> Fabric<P> {
         now: SimTime,
         out: &mut Vec<(SimDuration, NetEv)>,
         delivered: &mut Vec<DeliveryNote>,
+        obs: &mut Recorder,
     ) {
         let (mut pkt, transit, more) = {
             let q = self.queue(qr, lane);
@@ -842,25 +869,40 @@ impl<P: std::fmt::Debug> Fabric<P> {
             Target::Node(nd) => {
                 let q = &mut self.node_in[nd.index()][lane.index()];
                 if q.sink {
-                    self.drop_packet(pkt, "drop_dead_node");
+                    self.drop_packet(pkt, "drop_dead_node", now, obs);
                     return;
                 }
+                let mut hops = 0u8;
                 if let Some(meta) = self.slab.release(pkt.id) {
                     self.counters
                         .add("links_crossed", u64::from(meta.links_crossed));
+                    hops = meta.links_crossed.min(u32::from(u8::MAX)) as u8;
                 }
                 if lane.is_coherence() {
                     self.in_flight_coherence -= 1;
                     self.last_coherence_delivery[nd.index()] = now;
                 }
                 q.flits += pkt.flits;
+                let truncated = pkt.truncated;
                 q.q.push_back(pkt);
                 self.counters.incr("packets_delivered");
+                obs.record(
+                    Domain::Net,
+                    now,
+                    TraceEvent::PacketDelivered {
+                        node: nd.0,
+                        lane: lane.index() as u8,
+                        hops,
+                        truncated,
+                    },
+                );
+                obs.metrics
+                    .observe_count("net_packet_hops", u64::from(hops));
                 delivered.push(DeliveryNote { node: nd, lane });
             }
             Target::Queue { router, nbr } => {
                 if self.router_failed[router as usize].is_some() {
-                    self.drop_packet(pkt, "drop_dead_router");
+                    self.drop_packet(pkt, "drop_dead_router", now, obs);
                     return;
                 }
                 let q = &mut self.out_queues[router as usize][nbr as usize][lane.index()];
@@ -870,15 +912,18 @@ impl<P: std::fmt::Debug> Fabric<P> {
                 // A non-empty downstream queue already has an event chain
                 // (in-transit Arrived or a blocked-head retry poll) in flight.
                 if newly_head {
+                    obs.metrics.incr("net_trymove_kicks");
                     q.head_since = now;
                     out.push((
                         SimDuration::ZERO,
                         NetEv::TryMove(QueueRef::Out { router, nbr }, lane),
                     ));
+                } else {
+                    obs.metrics.incr("net_trymove_coalesced");
                 }
             }
             Target::Sink(reason) => {
-                self.drop_packet(pkt, reason);
+                self.drop_packet(pkt, reason, now, obs);
             }
         }
     }
@@ -893,6 +938,7 @@ mod tests {
     /// Minimal world driving a fabric alone.
     struct NetWorld {
         fabric: Fabric<u32>,
+        obs: Recorder,
         notes: Vec<(u64, DeliveryNote)>,
     }
 
@@ -901,7 +947,8 @@ mod tests {
         fn dispatch(&mut self, ev: NetEv, sched: &mut Scheduler<'_, NetEv>) {
             let mut out = Vec::new();
             let mut del = Vec::new();
-            self.fabric.handle(ev, sched.now(), &mut out, &mut del);
+            self.fabric
+                .handle(ev, sched.now(), &mut out, &mut del, &mut self.obs);
             for d in del {
                 self.notes.push((sched.now().as_nanos(), d));
             }
@@ -916,6 +963,7 @@ mod tests {
         (
             NetWorld {
                 fabric,
+                obs: Recorder::disabled(),
                 notes: Vec::new(),
             },
             Engine::new(),
@@ -931,7 +979,7 @@ mod tests {
         let mut out = Vec::new();
         let id = world
             .fabric
-            .try_send(node, pkt, engine.now(), &mut out)
+            .try_send(node, pkt, engine.now(), &mut out, &mut world.obs)
             .expect("send ok");
         for (delay, e) in out {
             engine.schedule_after(delay, e);
@@ -1064,7 +1112,7 @@ mod tests {
             let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, i);
             let mut out = Vec::new();
             if w.fabric
-                .try_send(NodeId(0), pkt, engine.now(), &mut out)
+                .try_send(NodeId(0), pkt, engine.now(), &mut out, &mut w.obs)
                 .is_ok()
             {
                 sent += 1;
@@ -1095,7 +1143,9 @@ mod tests {
         for i in 0..29 {
             let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, i);
             let mut out = Vec::new();
-            let _ = w.fabric.try_send(NodeId(0), pkt, engine.now(), &mut out);
+            let _ = w
+                .fabric
+                .try_send(NodeId(0), pkt, engine.now(), &mut out, &mut w.obs);
             for (d, e) in out {
                 engine.schedule_after(d, e);
             }
@@ -1122,7 +1172,9 @@ mod tests {
         for i in 0..256 {
             let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Recovery0, 1, i);
             let mut out = Vec::new();
-            let _ = w.fabric.try_send(NodeId(0), pkt, engine.now(), &mut out);
+            let _ = w
+                .fabric
+                .try_send(NodeId(0), pkt, engine.now(), &mut out, &mut w.obs);
             for (d, e) in out {
                 engine.schedule_after(d, e);
             }
@@ -1166,7 +1218,10 @@ mod tests {
         for i in 0..8 {
             let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, i);
             let mut out = Vec::new();
-            match w.fabric.try_send(NodeId(0), pkt, engine.now(), &mut out) {
+            match w
+                .fabric
+                .try_send(NodeId(0), pkt, engine.now(), &mut out, &mut w.obs)
+            {
                 Ok(_) => {}
                 Err(SendError::Full(p)) => rejected = Some(p),
             }
@@ -1194,7 +1249,9 @@ mod tests {
         for i in 0..28 {
             let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, i);
             let mut out = Vec::new();
-            let _ = w.fabric.try_send(NodeId(0), pkt, engine.now(), &mut out);
+            let _ = w
+                .fabric
+                .try_send(NodeId(0), pkt, engine.now(), &mut out, &mut w.obs);
             for (d, e) in out {
                 engine.schedule_after(d, e);
             }
@@ -1231,6 +1288,7 @@ mod conservation_props {
 
     struct NetWorld {
         fabric: Fabric<u32>,
+        obs: Recorder,
         delivered: u64,
     }
 
@@ -1239,7 +1297,8 @@ mod conservation_props {
         fn dispatch(&mut self, ev: NetEv, sched: &mut Scheduler<'_, NetEv>) {
             let mut out = Vec::new();
             let mut del = Vec::new();
-            self.fabric.handle(ev, sched.now(), &mut out, &mut del);
+            self.fabric
+                .handle(ev, sched.now(), &mut out, &mut del, &mut self.obs);
             self.delivered += del.len() as u64;
             for (d, e) in out {
                 sched.after(d, e);
@@ -1268,6 +1327,13 @@ mod conservation_props {
             let links = topo.links();
             let mut w = NetWorld {
                 fabric: Fabric::new(&topo, NetParams::default()),
+                obs: {
+                    // Trace the net domain here too: the instrumented path
+                    // must uphold conservation under random failures.
+                    let mut r = Recorder::new();
+                    r.set_domain_enabled(Domain::Net, true);
+                    r
+                },
                 delivered: 0,
             };
             let mut engine: Engine<NetEv> = Engine::new();
@@ -1288,7 +1354,7 @@ mod conservation_props {
                 let pkt = Packet::table_routed(NodeId(*src), NodeId(*dst), lane, 9, i as u32);
                 let mut out = Vec::new();
                 if w.fabric
-                    .try_send(NodeId(*src), pkt, engine.now(), &mut out)
+                    .try_send(NodeId(*src), pkt, engine.now(), &mut out, &mut w.obs)
                     .is_ok()
                 {
                     sent += 1;

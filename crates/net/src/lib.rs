@@ -21,12 +21,14 @@
 //!
 //! ```
 //! use flash_net::{Fabric, NetParams, Mesh2D, Packet, NodeId, Lane};
+//! use flash_obs::Recorder;
 //! use flash_sim::SimTime;
 //!
 //! let mut fabric: Fabric<&'static str> = Fabric::new(&Mesh2D::new(4, 2), NetParams::default());
 //! let mut out = Vec::new();
+//! let mut obs = Recorder::disabled();
 //! let pkt = Packet::table_routed(NodeId(0), NodeId(7), Lane::Request, 9, "hello");
-//! fabric.try_send(NodeId(0), pkt, SimTime::ZERO, &mut out)?;
+//! fabric.try_send(NodeId(0), pkt, SimTime::ZERO, &mut out, &mut obs)?;
 //! assert!(!out.is_empty()); // events to feed into the simulation engine
 //! # Ok::<(), flash_net::SendError<&'static str>>(())
 //! ```

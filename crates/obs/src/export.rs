@@ -1,0 +1,348 @@
+//! Exporters: Chrome `trace_event` JSON (loadable in Perfetto or
+//! `chrome://tracing`), a per-node recovery-phase timeline table, and the
+//! flight-recorder tail JSON embedded in campaign post-mortems.
+//!
+//! All output is built with integer arithmetic and name-sorted iteration
+//! only, so a given recording always serialises to the same bytes.
+
+use crate::event::TraceEvent;
+use crate::recorder::{MergedEvent, Recorder};
+use std::fmt::Write;
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as the microsecond `ts` field Chrome traces expect,
+/// with three fixed decimal places (pure integer math — no float
+/// formatting in the output path).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn phase_name(phase: u8) -> &'static str {
+    match phase {
+        1 => "P1",
+        2 => "P2",
+        3 => "P3",
+        4 => "P4",
+        _ => "P?",
+    }
+}
+
+fn write_chrome_record(out: &mut String, e: &MergedEvent) {
+    let ns = e.at.as_nanos();
+    let tid = e.event.node().unwrap_or(0);
+    let cat = e.domain.label();
+    match e.event {
+        TraceEvent::PhaseEnter {
+            phase, incarnation, ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"B\", \"ts\": {}, \"pid\": 0, \"tid\": {tid}, \"args\": {{\"incarnation\": {incarnation}, \"seq\": {}}}}}",
+                phase_name(phase),
+                ts_us(ns),
+                e.seq
+            );
+        }
+        TraceEvent::PhaseExit {
+            phase, incarnation, ..
+        } => {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"E\", \"ts\": {}, \"pid\": 0, \"tid\": {tid}, \"args\": {{\"incarnation\": {incarnation}, \"seq\": {}}}}}",
+                phase_name(phase),
+                ts_us(ns),
+                e.seq
+            );
+        }
+        TraceEvent::HandlerDispatch { cost_ns, .. } => {
+            // A complete event: the handler occupies the controller for
+            // `cost_ns` starting at the dispatch time.
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": {tid}, \"args\": {{\"detail\": \"{}\", \"seq\": {}}}}}",
+                e.event.kind(),
+                ts_us(ns),
+                ts_us(cost_ns),
+                json_escape_str(&e.event.to_string()),
+                e.seq
+            );
+        }
+        _ => {
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"{cat}\", \"ph\": \"i\", \"s\": \"t\", \"ts\": {}, \"pid\": 0, \"tid\": {tid}, \"args\": {{\"detail\": \"{}\", \"seq\": {}}}}}",
+                e.event.kind(),
+                ts_us(ns),
+                json_escape_str(&e.event.to_string()),
+                e.seq
+            );
+        }
+    }
+}
+
+/// Serialises the merged trace as Chrome `trace_event` JSON.
+///
+/// Recovery phases become `B`/`E` span pairs named `P1`–`P4` on thread
+/// `tid = node`; handler dispatches become `X` complete events with their
+/// occupancy as the duration; everything else becomes a thread-scoped
+/// instant event. Load the output in Perfetto or `chrome://tracing`.
+pub fn chrome_trace_json(rec: &Recorder) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n");
+    let merged = rec.merged();
+    for (i, e) in merged.iter().enumerate() {
+        out.push_str("  ");
+        write_chrome_record(&mut out, e);
+        if i + 1 < merged.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// One node's row in the recovery-phase timeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Latest incarnation observed for this node.
+    pub incarnation: u32,
+    /// Entry time (ns) per phase P1–P4, if entered.
+    pub enter_ns: [Option<u64>; 4],
+    /// Exit time (ns) per phase P1–P4, if exited.
+    pub exit_ns: [Option<u64>; 4],
+}
+
+/// Extracts the per-node P1–P4 timeline from the merged trace, keeping
+/// each node's *latest* incarnation (restarts overwrite earlier attempts,
+/// which is what a recovery-time attribution wants).
+pub fn phase_rows(rec: &Recorder) -> Vec<(u16, PhaseRow)> {
+    let mut rows: Vec<(u16, PhaseRow)> = Vec::new();
+    let row_mut = |node: u16, rows: &mut Vec<(u16, PhaseRow)>| -> usize {
+        match rows.iter().position(|(n, _)| *n == node) {
+            Some(i) => i,
+            None => {
+                rows.push((node, PhaseRow::default()));
+                rows.len() - 1
+            }
+        }
+    };
+    for e in rec.merged() {
+        match e.event {
+            TraceEvent::PhaseEnter {
+                node,
+                phase: phase @ 1..=4,
+                incarnation,
+            } => {
+                let i = row_mut(node, &mut rows);
+                let row = &mut rows[i].1;
+                if incarnation > row.incarnation {
+                    *row = PhaseRow {
+                        incarnation,
+                        ..PhaseRow::default()
+                    };
+                }
+                row.enter_ns[(phase - 1) as usize] = Some(e.at.as_nanos());
+            }
+            TraceEvent::PhaseExit {
+                node,
+                phase: phase @ 1..=4,
+                incarnation,
+            } => {
+                let i = row_mut(node, &mut rows);
+                let row = &mut rows[i].1;
+                if incarnation >= row.incarnation {
+                    row.incarnation = incarnation;
+                    row.exit_ns[(phase - 1) as usize] = Some(e.at.as_nanos());
+                }
+            }
+            _ => {}
+        }
+    }
+    rows.sort_unstable_by_key(|(n, _)| *n);
+    rows
+}
+
+fn fmt_opt_ns(v: Option<u64>) -> String {
+    match v {
+        Some(ns) => ns.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the per-node recovery-phase timeline as an aligned text table
+/// (entry time per phase plus the P4 exit, in simulated nanoseconds).
+pub fn phase_timeline(rec: &Recorder) -> String {
+    let rows = phase_rows(rec);
+    let mut cells: Vec<[String; 7]> = vec![[
+        "node".into(),
+        "inc".into(),
+        "P1_enter_ns".into(),
+        "P2_enter_ns".into(),
+        "P3_enter_ns".into(),
+        "P4_enter_ns".into(),
+        "P4_exit_ns".into(),
+    ]];
+    for (node, row) in &rows {
+        cells.push([
+            node.to_string(),
+            row.incarnation.to_string(),
+            fmt_opt_ns(row.enter_ns[0]),
+            fmt_opt_ns(row.enter_ns[1]),
+            fmt_opt_ns(row.enter_ns[2]),
+            fmt_opt_ns(row.enter_ns[3]),
+            fmt_opt_ns(row.exit_ns[3]),
+        ]);
+    }
+    let mut widths = [0usize; 7];
+    for row in &cells {
+        for (w, c) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(c.len());
+        }
+    }
+    let mut out = String::new();
+    for row in &cells {
+        for (i, (w, c)) in widths.iter().zip(row.iter()).enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{c:>w$}", w = w);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises the last `n` merged events as a JSON array — the
+/// flight-recorder tail embedded in campaign post-mortems.
+pub fn tail_json(rec: &Recorder, n: usize) -> String {
+    let tail = rec.tail(n);
+    let mut out = String::from("[");
+    for (i, e) in tail.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(
+            out,
+            "{sep}{{\"seq\": {}, \"t_ns\": {}, \"domain\": \"{}\", \"event\": \"{}\", \"detail\": \"{}\"}}",
+            e.seq,
+            e.at.as_nanos(),
+            e.domain.label(),
+            e.event.kind(),
+            json_escape_str(&e.event.to_string())
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Domain;
+    use flash_sim::SimTime;
+
+    fn sample_recorder() -> Recorder {
+        let mut r = Recorder::new();
+        r.enable_all();
+        r.record(
+            Domain::Machine,
+            SimTime::from_nanos(100),
+            TraceEvent::FaultInjected {
+                kind: "node",
+                node: 3,
+            },
+        );
+        r.record(
+            Domain::Recovery,
+            SimTime::from_nanos(250),
+            TraceEvent::PhaseEnter {
+                node: 0,
+                phase: 1,
+                incarnation: 1,
+            },
+        );
+        r.record(
+            Domain::Recovery,
+            SimTime::from_nanos(900),
+            TraceEvent::PhaseExit {
+                node: 0,
+                phase: 1,
+                incarnation: 1,
+            },
+        );
+        r.record(
+            Domain::Recovery,
+            SimTime::from_nanos(900),
+            TraceEvent::PhaseEnter {
+                node: 0,
+                phase: 2,
+                incarnation: 1,
+            },
+        );
+        r
+    }
+
+    #[test]
+    fn chrome_trace_has_span_pairs_and_instants() {
+        let r = sample_recorder();
+        let json = chrome_trace_json(&r);
+        assert!(json.contains("\"ph\": \"B\""), "{json}");
+        assert!(json.contains("\"ph\": \"E\""), "{json}");
+        assert!(json.contains("\"ph\": \"i\""), "{json}");
+        assert!(json.contains("\"name\": \"P1\""), "{json}");
+        assert!(json.contains("\"ts\": 0.250"), "{json}");
+        // Valid JSON shape: balanced brackets, trailing newline.
+        assert!(json.starts_with('{') && json.ends_with("]}\n"));
+    }
+
+    #[test]
+    fn timeline_latest_incarnation_wins() {
+        let mut r = sample_recorder();
+        // A restart at node 0: the earlier incarnation's entries clear.
+        r.record(
+            Domain::Recovery,
+            SimTime::from_nanos(2_000),
+            TraceEvent::PhaseEnter {
+                node: 0,
+                phase: 1,
+                incarnation: 2,
+            },
+        );
+        let rows = phase_rows(&r);
+        assert_eq!(rows.len(), 1);
+        let (node, row) = rows[0];
+        assert_eq!(node, 0);
+        assert_eq!(row.incarnation, 2);
+        assert_eq!(row.enter_ns[0], Some(2_000));
+        assert_eq!(row.enter_ns[1], None, "old incarnation must be discarded");
+        let table = phase_timeline(&r);
+        assert!(table.contains("P1_enter_ns"));
+        assert!(table.contains("2000"));
+    }
+
+    #[test]
+    fn tail_json_is_bounded_and_escaped() {
+        let r = sample_recorder();
+        let json = tail_json(&r, 2);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"seq\"").count(), 2);
+        assert!(json.contains("phase_enter"));
+        assert_eq!(json_escape_str("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

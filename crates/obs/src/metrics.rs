@@ -1,0 +1,201 @@
+//! The metrics registry: named counters plus fixed-bucket latency
+//! histograms, allocation-free on the steady-state hot path (names are
+//! `&'static str` literals found by address comparison first) and a single
+//! branch when disabled.
+
+use flash_sim::{Counters, LatencyHistogram, SimDuration};
+
+/// Counters and histograms recorded alongside the trace.
+///
+/// # Examples
+///
+/// ```
+/// use flash_obs::Metrics;
+/// use flash_sim::SimDuration;
+///
+/// let mut m = Metrics::new();
+/// m.incr("handler_dispatches");
+/// m.observe("handler_cost_ns", SimDuration::from_nanos(140));
+/// assert_eq!(m.counters().get("handler_dispatches"), 1);
+/// assert_eq!(m.histogram("handler_cost_ns").unwrap().total(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    enabled: bool,
+    counters: Counters,
+    /// Insertion-ordered; snapshots sort by name on demand.
+    hists: Vec<(&'static str, LatencyHistogram)>,
+}
+
+impl Metrics {
+    /// Creates an enabled, empty registry.
+    pub fn new() -> Self {
+        Metrics {
+            enabled: true,
+            counters: Counters::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// Creates a disabled registry: every record call is one branch.
+    pub fn disabled() -> Self {
+        Metrics {
+            enabled: false,
+            counters: Counters::new(),
+            hists: Vec::new(),
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` to counter `name`.
+    #[inline]
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        if self.enabled {
+            self.counters.add(name, n);
+        }
+    }
+
+    /// Adds one to counter `name`.
+    #[inline]
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Records a duration sample into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, d: SimDuration) {
+        if self.enabled {
+            self.hist_mut(name).record(d);
+        }
+    }
+
+    /// Records a dimensionless count (queue depth, hop count) into
+    /// histogram `name`, using the histogram's power-of-two buckets.
+    #[inline]
+    pub fn observe_count(&mut self, name: &'static str, value: u64) {
+        self.observe(name, SimDuration::from_nanos(value));
+    }
+
+    fn hist_mut(&mut self, name: &'static str) -> &mut LatencyHistogram {
+        // Address comparison first: the same call site passes the same
+        // literal, so the steady state never allocates or compares bytes.
+        if let Some(i) = self.hists.iter().position(|e| std::ptr::eq(e.0, name)) {
+            return &mut self.hists[i].1;
+        }
+        if let Some(i) = self.hists.iter().position(|e| e.0 == name) {
+            return &mut self.hists[i].1;
+        }
+        self.hists.push((name, LatencyHistogram::new()));
+        &mut self.hists.last_mut().expect("just pushed").1
+    }
+
+    /// The counter set.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Mutable access to the counter set (for merging foreign counters in).
+    pub fn counters_mut(&mut self) -> &mut Counters {
+        &mut self.counters
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&LatencyHistogram> {
+        self.hists.iter().find(|e| e.0 == name).map(|e| &e.1)
+    }
+
+    /// Iterates over all (name, histogram) pairs in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &LatencyHistogram)> {
+        let mut sorted: Vec<_> = self.hists.iter().map(|e| (e.0, &e.1)).collect();
+        sorted.sort_unstable_by_key(|e| e.0);
+        sorted.into_iter()
+    }
+
+    /// Merges another registry into this one (summing counters; histogram
+    /// totals are *not* mergeable bucket-wise, so foreign histograms are
+    /// appended only when absent here).
+    pub fn merge_counters(&mut self, other: &Metrics) {
+        self.counters.merge(&other.counters);
+    }
+
+    /// A deterministic JSON snapshot: name-sorted counters, plus per
+    /// histogram the total and p50/p90/p99/max upper bounds in
+    /// nanoseconds.
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\": {v}", crate::json_escape_str(k));
+        }
+        out.push_str("}, \"histograms\": {");
+        for (i, (k, h)) in self.histograms().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{sep}\"{}\": {{\"total\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                crate::json_escape_str(k),
+                h.total(),
+                h.quantile_upper_bound(0.50).as_nanos(),
+                h.quantile_upper_bound(0.90).as_nanos(),
+                h.quantile_upper_bound(0.99).as_nanos(),
+                h.quantile_upper_bound(1.0).as_nanos(),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let mut m = Metrics::disabled();
+        m.incr("x");
+        m.observe("h", SimDuration::from_nanos(5));
+        assert_eq!(m.counters().get("x"), 0);
+        assert!(m.histogram("h").is_none());
+        m.set_enabled(true);
+        m.incr("x");
+        assert_eq!(m.counters().get("x"), 1);
+    }
+
+    #[test]
+    fn histograms_found_by_name_across_addresses() {
+        let mut m = Metrics::new();
+        m.observe_count("depth", 4);
+        // The same name from a runtime string (different address) must hit
+        // the same histogram via the content fallback.
+        let name: &'static str = "depth";
+        m.observe_count(name, 8);
+        assert_eq!(m.histogram("depth").unwrap().total(), 2);
+        assert_eq!(m.histograms().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_deterministic() {
+        let mut m = Metrics::new();
+        m.incr("zeta");
+        m.incr("alpha");
+        m.observe("lat", SimDuration::from_nanos(100));
+        let a = m.snapshot_json();
+        let b = m.snapshot_json();
+        assert_eq!(a, b);
+        let alpha = a.find("alpha").unwrap();
+        let zeta = a.find("zeta").unwrap();
+        assert!(alpha < zeta, "counters must be name-sorted: {a}");
+        assert!(a.contains("\"total\": 1"), "{a}");
+    }
+}

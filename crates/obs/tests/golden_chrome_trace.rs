@@ -1,0 +1,200 @@
+//! Golden-file test for the Chrome `trace_event` exporter: the serialized
+//! bytes for a fixed recording are pinned, so any formatting drift (field
+//! order, timestamp rendering, escaping) shows up as a reviewable diff of
+//! `tests/golden/chrome_trace.trace.json` rather than a silent change to
+//! every trace consumers have saved.
+//!
+//! To bless an intentional format change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test -p flash-obs --test golden_chrome_trace
+//! ```
+
+use flash_obs::{chrome_trace_json, phase_timeline, Domain, Recorder, TraceEvent};
+use flash_sim::SimTime;
+
+/// One fixed recording exercising every export shape: span pairs (phase
+/// enter/exit), complete events (handler dispatch with duration), and
+/// instant events (everything else), across several domains and nodes.
+fn golden_recorder() -> Recorder {
+    let mut r = Recorder::new();
+    r.enable_all();
+    let evs: [(Domain, u64, TraceEvent); 14] = [
+        (
+            Domain::Net,
+            10,
+            TraceEvent::PacketSent {
+                src: 0,
+                dst: 3,
+                lane: 1,
+                flits: 9,
+            },
+        ),
+        (
+            Domain::Magic,
+            40,
+            TraceEvent::HandlerDispatch {
+                node: 3,
+                handler: "get",
+                cost_ns: 120,
+            },
+        ),
+        (
+            Domain::Net,
+            55,
+            TraceEvent::PacketDelivered {
+                node: 3,
+                lane: 1,
+                hops: 2,
+                truncated: false,
+            },
+        ),
+        (
+            Domain::Machine,
+            100,
+            TraceEvent::FaultInjected {
+                kind: "node",
+                node: 3,
+            },
+        ),
+        (
+            Domain::Net,
+            130,
+            TraceEvent::PacketDropped {
+                reason: "drop_dead_router",
+            },
+        ),
+        (
+            Domain::Machine,
+            180,
+            TraceEvent::TriggerFired {
+                node: 0,
+                trigger: "mem_op_timeout",
+            },
+        ),
+        (
+            Domain::Recovery,
+            250,
+            TraceEvent::PhaseEnter {
+                node: 0,
+                phase: 1,
+                incarnation: 1,
+            },
+        ),
+        (
+            Domain::Coherence,
+            300,
+            TraceEvent::CohTransition {
+                node: 0,
+                line: 0x2a40,
+                what: "marked_incoherent",
+            },
+        ),
+        (
+            Domain::Recovery,
+            700,
+            TraceEvent::BarrierRound {
+                node: 0,
+                barrier: "drain1",
+                ok: true,
+            },
+        ),
+        (
+            Domain::Recovery,
+            900,
+            TraceEvent::PhaseExit {
+                node: 0,
+                phase: 1,
+                incarnation: 1,
+            },
+        ),
+        (
+            Domain::Recovery,
+            900,
+            TraceEvent::PhaseEnter {
+                node: 0,
+                phase: 2,
+                incarnation: 1,
+            },
+        ),
+        (
+            Domain::Machine,
+            1_100,
+            TraceEvent::BusErrorRaised {
+                node: 2,
+                err: "incoherent_line",
+            },
+        ),
+        (
+            Domain::Hive,
+            1_500,
+            TraceEvent::HiveCell {
+                cell: 1,
+                what: "cell_failed",
+                value: 4,
+            },
+        ),
+        (
+            Domain::Hive,
+            2_000,
+            TraceEvent::OsEvent {
+                what: "os_recover_lines",
+                value: 17,
+            },
+        ),
+    ];
+    for (domain, at, ev) in evs {
+        r.record(domain, SimTime::from_nanos(at), ev);
+    }
+    r
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from the golden file; if intentional, bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_trace_export_matches_golden() {
+    let r = golden_recorder();
+    check_golden("chrome_trace.trace.json", &chrome_trace_json(&r));
+}
+
+#[test]
+fn phase_timeline_matches_golden() {
+    let r = golden_recorder();
+    check_golden("phase_timeline.txt", &phase_timeline(&r));
+}
+
+#[test]
+fn golden_trace_parses_as_chrome_trace_shape() {
+    // Independent of the byte-level pin: the export must keep the
+    // top-level Chrome trace structure and one record per event.
+    let r = golden_recorder();
+    let json = chrome_trace_json(&r);
+    assert!(json.starts_with("{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n"));
+    assert!(json.ends_with("]}\n"));
+    assert_eq!(json.matches("\"ph\": ").count(), r.merged().len());
+    assert_eq!(json.matches("\"ph\": \"B\"").count(), 2);
+    assert_eq!(json.matches("\"ph\": \"E\"").count(), 1);
+    assert_eq!(json.matches("\"ph\": \"X\"").count(), 1);
+}

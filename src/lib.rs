@@ -13,6 +13,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`sim`] | `flash-sim` | discrete-event simulation kernel |
+//! | [`obs`] | `flash-obs` | structured tracing, metrics, timeline exporters |
 //! | [`net`] | `flash-net` | mesh/hypercube interconnect, routers, failures |
 //! | [`coherence`] | `flash-coherence` | caches, directory protocol |
 //! | [`magic`] | `flash-magic` | node controller + containment features |
@@ -48,4 +49,5 @@ pub use flash_hive as hive;
 pub use flash_machine as machine;
 pub use flash_magic as magic;
 pub use flash_net as net;
+pub use flash_obs as obs;
 pub use flash_sim as sim;

@@ -288,7 +288,7 @@ fn truncated_packet_triggers_recovery() {
 
 #[test]
 fn trace_records_the_failure_story() {
-    use flash::machine::TraceEvent;
+    use flash::obs::TraceEvent;
     let mk = move |n: NodeId| -> Box<dyn Workload> {
         if n == NodeId(2) {
             Box::new(Script::new([
@@ -303,28 +303,32 @@ fn trace_records_the_failure_story() {
     m.start();
     m.schedule_fault(SimTime::from_nanos(500_000), FaultSpec::Node(NodeId(1)));
     m.run_until(SimTime::MAX);
-    let trace = &m.st().trace;
-    assert!(!trace.is_empty());
+    let obs = &m.st().obs;
+    assert!(!obs.is_empty());
     let mut saw_fault = false;
     let mut saw_trigger = false;
     let mut saw_complete = false;
-    let mut last_t = flash::sim::SimTime::ZERO;
-    for (t, e) in trace.iter() {
-        assert!(*t >= last_t, "trace is time-ordered");
-        last_t = *t;
-        match e {
-            TraceEvent::Fault(FaultSpec::Node(n)) => {
-                assert_eq!(*n, NodeId(1));
+    let mut last_seq = 0;
+    for ev in obs.merged() {
+        assert!(ev.seq >= last_seq, "merged trace is seq-ordered");
+        last_seq = ev.seq;
+        match ev.event {
+            TraceEvent::FaultInjected { kind: "node", node } => {
+                assert_eq!(node, 1);
                 saw_fault = true;
             }
-            TraceEvent::Trigger { .. } => saw_trigger = true,
-            TraceEvent::Note("recovery_complete(node)", _) => saw_complete = true,
+            TraceEvent::TriggerFired { .. } => saw_trigger = true,
+            TraceEvent::PhaseExit { phase: 4, .. } => saw_complete = true,
             _ => {}
         }
     }
+    assert!(saw_fault && saw_trigger && saw_complete, "{}", obs.render());
+    // The merged trace's per-node recovery timeline is derivable.
+    let rows = flash::obs::phase_rows(obs);
     assert!(
-        saw_fault && saw_trigger && saw_complete,
-        "{}",
-        trace.render()
+        rows.iter()
+            .any(|(_, row)| row.enter_ns[0].is_some() && row.exit_ns[3].is_some()),
+        "at least one node shows a full P1..P4 timeline:\n{}",
+        flash::obs::phase_timeline(obs)
     );
 }
