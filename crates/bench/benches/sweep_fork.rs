@@ -1,0 +1,215 @@
+//! **Checkpoint/fork sweep vs. from-scratch — the speedup evidence.**
+//!
+//! Runs the Table 5.3 (validation) and Table 5.4 (end-to-end) sweeps twice
+//! at equal N — once through the checkpoint/fork engine, once from scratch
+//! with identical seeds — asserts every forked run's trace hash is
+//! bit-identical to its from-scratch twin, and reports the wall-clock
+//! speedup. The committed numbers live in `BENCH_sweep_fork.json`.
+//!
+//! Environment knobs:
+//!
+//! * `FLASH_RUNS=N` — runs per fault type on each side (default 64; the
+//!   speedup is prelude-amortization, so tiny N underreports it — the CI
+//!   smoke run at `FLASH_RUNS=5` exercises the path and the determinism
+//!   assertion, not the speedup);
+//! * `FLASH_BENCH_JSON=path` — additionally write the results as JSON;
+//! * `FLASH_BENCH_CHECK=path` — compare against the committed
+//!   `BENCH_sweep_fork.json` and exit non-zero if either sweep falls below
+//!   its derated `floor_speedup`.
+
+use flash_bench::{
+    banner, runs_from_env, table_5_3_experiment, table_5_4_hive, time_fault_sweep,
+    time_parallel_make_sweep, Stopwatch, SweepConfig, SweepTiming, DEFAULT_MAKE_STAGES,
+};
+use flash_core::{FaultKind, RecoveryConfig};
+use flash_machine::MachineParams;
+
+struct Arm {
+    name: &'static str,
+    timing: SweepTiming,
+    mismatches: usize,
+}
+
+fn check_hashes<O>(
+    forked: &[flash_bench::SweepRun<O>],
+    scratch: &[flash_bench::SweepRun<O>],
+    hash: impl Fn(&O) -> u64,
+) -> usize {
+    assert_eq!(forked.len(), scratch.len(), "unequal N between arms");
+    forked
+        .iter()
+        .zip(scratch)
+        .filter(|(f, s)| {
+            let differ = hash(&f.outcome) != hash(&s.outcome);
+            if differ {
+                eprintln!(
+                    "DETERMINISM MISMATCH {:?} run {} stage {}%",
+                    f.kind, f.run, f.stage_pct
+                );
+            }
+            differ
+        })
+        .count()
+}
+
+fn emit_json(path: &str, runs: u64, arms: &[Arm]) {
+    let mut s = String::from("{\n  \"schema\": \"flash-bench/sweep-fork/v1\",\n");
+    s.push_str(&format!("  \"runs_per_kind\": {runs},\n  \"sweeps\": [\n"));
+    for (i, a) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"runs\": {}, \"forked_s\": {:.4}, \
+             \"scratch_s\": {:.4}, \"speedup\": {:.3}, \"hash_mismatches\": {}}}{}\n",
+            a.name,
+            a.timing.runs,
+            a.timing.forked_secs,
+            a.timing.scratch_secs,
+            a.timing.speedup(),
+            a.mismatches,
+            sep,
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("results written to {path}");
+    }
+}
+
+/// Pulls `"name": ... "floor_speedup": x` pairs out of the committed
+/// baseline (same line-wise idiom as the sim-speed bench checker).
+fn parse_floors(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(nk) = line.find("\"name\":") else {
+            continue;
+        };
+        let rest = &line[nk + 7..];
+        let Some(start) = rest.find('"') else {
+            continue;
+        };
+        let Some(end) = rest[start + 1..].find('"') else {
+            continue;
+        };
+        let name = rest[start + 1..start + 1 + end].to_string();
+        let Some(fk) = line.find("\"floor_speedup\":") else {
+            continue;
+        };
+        let rest = line[fk + 16..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+fn check_floors(path: &str, arms: &[Arm]) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            return 1;
+        }
+    };
+    let floors = parse_floors(&text);
+    let mut regressions = 0;
+    for a in arms {
+        let Some((_, floor)) = floors.iter().find(|(n, _)| n == a.name) else {
+            println!("check {:<28} no floor_speedup entry, skipped", a.name);
+            continue;
+        };
+        let s = a.timing.speedup();
+        let verdict = if s < *floor {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {:<28} {s:.2}x vs floor {floor:.2}x {verdict}",
+            a.name
+        );
+    }
+    regressions
+}
+
+fn main() {
+    banner(
+        "sweep_fork: checkpoint/fork sweep vs. from-scratch at equal N",
+        "engine behind Tables 5.3/5.4 at paper-scale run counts",
+    );
+    let runs = runs_from_env(64);
+    let mut cfg = SweepConfig::new(runs as usize);
+    cfg.forks_per_checkpoint = 8;
+    let sw = Stopwatch::start();
+
+    // Arm 1: the Table 5.3 validation sweep, all five fault types.
+    let (forked, scratch, timing) = time_fault_sweep(&cfg, &FaultKind::ALL, table_5_3_experiment);
+    let mismatches = check_hashes(&forked, &scratch, |o| o.trace_hash);
+    let validation = Arm {
+        name: "validation_table_5_3",
+        timing,
+        mismatches,
+    };
+
+    // Arm 2: the Table 5.4 end-to-end sweep over the injection ladder.
+    let kinds = [
+        FaultKind::Node,
+        FaultKind::Router,
+        FaultKind::Link,
+        FaultKind::InfiniteLoop,
+    ];
+    let (forked, scratch, timing) = time_parallel_make_sweep(
+        &cfg,
+        &kinds,
+        DEFAULT_MAKE_STAGES,
+        MachineParams::table_5_1(),
+        &table_5_4_hive(),
+        RecoveryConfig::default(),
+    );
+    let mismatches = check_hashes(&forked, &scratch, |o| o.trace_hash);
+    let end_to_end = Arm {
+        name: "end_to_end_table_5_4",
+        timing,
+        mismatches,
+    };
+
+    let arms = [validation, end_to_end];
+    println!(
+        "\n{:<28} {:>6} {:>10} {:>10} {:>9}",
+        "sweep", "runs", "forked", "scratch", "speedup"
+    );
+    let mut total_mismatches = 0;
+    for a in &arms {
+        total_mismatches += a.mismatches;
+        println!(
+            "{:<28} {:>6} {:>9.2}s {:>9.2}s {:>8.2}x",
+            a.name,
+            a.timing.runs,
+            a.timing.forked_secs,
+            a.timing.scratch_secs,
+            a.timing.speedup()
+        );
+    }
+    println!("[{:.1}s host total]", sw.secs());
+
+    if let Ok(path) = std::env::var("FLASH_BENCH_JSON") {
+        emit_json(&path, runs, &arms);
+    }
+    assert_eq!(
+        total_mismatches, 0,
+        "every forked run must hash identically to its from-scratch twin"
+    );
+    if let Ok(path) = std::env::var("FLASH_BENCH_CHECK") {
+        let regressions = check_floors(&path, &arms);
+        if regressions > 0 {
+            eprintln!("{regressions} sweep(s) below their committed floor_speedup in {path}");
+            std::process::exit(1);
+        }
+        println!("speedup floor check passed vs {path}");
+    }
+}

@@ -5,46 +5,20 @@
 //! recovery, every accessible line held correct data and no more lines were
 //! marked incoherent than necessary. This bench regenerates the table.
 //!
+//! Runs go through the checkpoint/fork sweep engine: each fill seed's
+//! cache-fill prelude executes once and every fault type forks its runs
+//! from the warm snapshot, so the paper's 1000-run sweep costs a fraction
+//! of the from-scratch wall clock (the `sweep_fork` bench measures the
+//! speedup; fork determinism is asserted in `tests/checkpoint_fork.rs`).
+//!
 //! Run counts scale with `FLASH_RUNS` (default 200 per type, as in the
 //! paper; set lower for a quick pass).
 
-use flash_bench::{banner, runs_from_env, Stopwatch};
-use flash_core::{random_fault, run_fault_experiment, ExperimentConfig, FaultKind};
-use flash_machine::MachineParams;
-use flash_sim::DetRng;
-use std::sync::Mutex;
-
-fn run_type(kind: FaultKind, runs: u64, threads: usize) -> (u64, u64) {
-    let failures = Mutex::new(0u64);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| loop {
-                let seed = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if seed >= runs {
-                    return;
-                }
-                let params = MachineParams::table_5_1();
-                let mut rng = DetRng::new(seed.wrapping_mul(0x9E3779B9) ^ kind as u64);
-                let fault = random_fault(kind, params.n_nodes, &mut rng);
-                let mut cfg = ExperimentConfig::new(params, seed);
-                cfg.fill_ops = 1_500; // fill at least half the (1 MB) caches'
-                cfg.total_ops = 4_000; // worth of touched lines, then keep running
-                let out = run_fault_experiment(&cfg, fault.clone());
-                if !out.passed() {
-                    let mut f = failures.lock().expect("no poisoned lock");
-                    *f += 1;
-                    eprintln!(
-                        "FAILURE {kind:?} seed {seed} {fault:?}: {} (recovery completed: {})",
-                        out.validation,
-                        out.recovery.completed()
-                    );
-                }
-            });
-        }
-    });
-    (runs, failures.into_inner().expect("no poisoned lock"))
-}
+use flash_bench::{
+    banner, runs_from_env, sweep_fault_experiments, table_5_3_experiment, ResultSheet, Stopwatch,
+    SweepConfig,
+};
+use flash_core::FaultKind;
 
 fn main() {
     banner(
@@ -52,15 +26,8 @@ fn main() {
         "Teodosiu et al., ISCA'97, Table 5.3 (200 runs per fault type, 0 failures)",
     );
     let runs = runs_from_env(200);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+    let cfg = SweepConfig::new(runs as usize);
     let sw = Stopwatch::start();
-    println!(
-        "{:<38} {:>14} {:>22}",
-        "Injected fault type", "# of", "# of failed"
-    );
-    println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
     let rows = [
         (FaultKind::Node, "Node failure"),
         (FaultKind::Router, "Router failure"),
@@ -68,16 +35,45 @@ fn main() {
         (FaultKind::InfiniteLoop, "Infinite loop in MAGIC handler"),
         (FaultKind::FalseAlarm, "Recovery triggered by false alarm"),
     ];
-    let mut total_failed = 0;
+    let kinds: Vec<FaultKind> = rows.iter().map(|&(k, _)| k).collect();
+    let results = sweep_fault_experiments(&cfg, &kinds, table_5_3_experiment);
+
+    println!(
+        "{:<38} {:>14} {:>22}",
+        "Injected fault type", "# of", "# of failed"
+    );
+    println!("{:<38} {:>14} {:>22}", "", "experiments", "experiments");
+    let mut sheet = ResultSheet::new(
+        "table_5_3_validation",
+        "Table 5.3",
+        &["experiments", "failed"],
+    );
+    let mut total_failed = 0u64;
     for (kind, label) in rows {
-        let (n, failed) = run_type(kind, runs, threads);
+        let mut n = 0u64;
+        let mut failed = 0u64;
+        for r in results.iter().filter(|r| r.kind as u64 == kind as u64) {
+            n += 1;
+            if !r.outcome.passed() {
+                failed += 1;
+                eprintln!(
+                    "FAILURE {kind:?} fill_seed {} run {}: {} (recovery completed: {})",
+                    r.fill_seed,
+                    r.run,
+                    r.outcome.validation,
+                    r.outcome.recovery.completed()
+                );
+            }
+        }
         total_failed += failed;
         println!("{label:<38} {n:>14} {failed:>22}");
+        sheet.push(label, &[n as f64, failed as f64]);
     }
     println!(
-        "\npaper: 0 failed / 1000; measured: {total_failed} failed / {} ({:.1}s host)",
+        "\npaper: 0 failed / 1000; measured: {total_failed} failed / {} ({:.1}s host, checkpoint/fork sweep)",
         runs * 5,
         sw.secs()
     );
+    sheet.write();
     assert_eq!(total_failed, 0, "validation must be failure-free");
 }

@@ -22,10 +22,51 @@
 //! `FLASH_RUNS` environment variable to scale the run counts.
 
 mod results;
+pub mod sweep;
 
 pub use results::{results_dir, ResultSheet, Row};
+pub use sweep::{
+    fault_rng_seed, run_checkpoint_groups, sweep_fault_experiments, sweep_parallel_make,
+    time_fault_sweep, time_parallel_make_sweep, SweepConfig, SweepRun, SweepTiming,
+    DEFAULT_MAKE_STAGES,
+};
 
+use flash_core::{ExperimentConfig, FaultKind};
+use flash_hive::HiveConfig;
+use flash_machine::MachineParams;
 use std::time::Instant;
+
+/// The Table 5.3 validation experiment configuration for one fill seed:
+/// the Table 5.1 machine with the caches filled deep (the paper fills the
+/// caches with valid data before injecting) and enough post-fill operations
+/// left to exercise recovery under load. Shared by the table bench, the
+/// `sweep_fork` comparison bench and the fork-determinism tests.
+pub fn table_5_3_experiment(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), seed);
+    cfg.fill_ops = 3_000;
+    cfg.total_ops = 4_000;
+    cfg
+}
+
+/// The Table 5.4 parallel-make workload: 12 files per client cell — an
+/// 84-file compile tree across the 7 client cells. The paper's benchmark (a
+/// pmake compile job) ran orders of magnitude longer than the ~100 ms
+/// recovery it absorbed; a longer make keeps that proportion honest, which
+/// is also what the checkpoint/fork engine amortizes.
+pub fn table_5_4_hive() -> HiveConfig {
+    HiveConfig {
+        files_per_task: 12,
+        ..HiveConfig::default()
+    }
+}
+
+/// The paper's per-fault-type run counts for Table 5.4 (1187 total).
+pub const TABLE_5_4_RUNS: [(FaultKind, u64); 4] = [
+    (FaultKind::Node, 310),
+    (FaultKind::Router, 215),
+    (FaultKind::Link, 268),
+    (FaultKind::InfiniteLoop, 394),
+];
 
 /// Reads a run-count override from `FLASH_RUNS`, defaulting to `default`.
 pub fn runs_from_env(default: u64) -> u64 {

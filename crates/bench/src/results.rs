@@ -4,6 +4,7 @@
 //! output so results can be plotted or diffed across runs. Files land in
 //! `target/bench-results/<bench>.json`.
 
+use flash_obs::json_escape_str;
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -56,15 +57,23 @@ impl ResultSheet {
     /// Serializes the sheet as pretty JSON.
     pub fn to_json(&self) -> String {
         // Hand-rolled writer: the workspace deliberately avoids serde_json;
-        // the structure is flat enough to emit directly.
+        // the structure is flat enough to emit directly. Strings go through
+        // `flash_obs::json_escape_str` — Rust's `{:?}` formatting emits
+        // `\u{…}` escapes, which no JSON parser accepts.
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"bench\": {:?},\n", self.bench));
-        out.push_str(&format!("  \"reproduces\": {:?},\n", self.reproduces));
+        out.push_str(&format!(
+            "  \"bench\": \"{}\",\n",
+            json_escape_str(&self.bench)
+        ));
+        out.push_str(&format!(
+            "  \"reproduces\": \"{}\",\n",
+            json_escape_str(&self.reproduces)
+        ));
         out.push_str(&format!(
             "  \"columns\": [{}],\n",
             self.columns
                 .iter()
-                .map(|c| format!("{c:?}"))
+                .map(|c| format!("\"{}\"", json_escape_str(c)))
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
@@ -83,8 +92,8 @@ impl ResultSheet {
                 .collect::<Vec<_>>()
                 .join(", ");
             out.push_str(&format!(
-                "    {{\"label\": {:?}, \"values\": [{vals}]}}",
-                row.label
+                "    {{\"label\": \"{}\", \"values\": [{vals}]}}",
+                json_escape_str(&row.label)
             ));
             out.push_str(if i + 1 == self.rows.len() {
                 "\n"
@@ -119,7 +128,10 @@ impl ResultSheet {
 /// would land inside `crates/bench`).
 pub fn results_dir() -> PathBuf {
     if let Some(dir) = std::env::var_os("CARGO_TARGET_DIR") {
-        return PathBuf::from(dir).join("bench-results");
+        // Cargo resolves a relative CARGO_TARGET_DIR against the workspace
+        // root, not the process cwd (which is the package directory under
+        // `cargo bench`) — do the same, or results drift into crates/bench.
+        return resolve_target_dir(PathBuf::from(dir)).join("bench-results");
     }
     // The bench executable lives in <workspace>/target/release/deps/...;
     // derive the target directory from our own path.
@@ -130,7 +142,29 @@ pub fn results_dir() -> PathBuf {
             }
         }
     }
-    PathBuf::from("target").join("bench-results")
+    workspace_root().join("target").join("bench-results")
+}
+
+/// Resolves a (possibly relative) target-directory path against the
+/// workspace root, mirroring cargo's own interpretation of
+/// `CARGO_TARGET_DIR`.
+fn resolve_target_dir(dir: PathBuf) -> PathBuf {
+    if dir.is_absolute() {
+        dir
+    } else {
+        workspace_root().join(dir)
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest
+/// (`<workspace>/crates/bench`).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
 }
 
 #[cfg(test)]
@@ -154,5 +188,41 @@ mod tests {
     fn mismatched_row_panics() {
         let mut s = ResultSheet::new("x", "y", &["a"]);
         s.push("r", &[1.0, 2.0]);
+    }
+
+    /// Non-ASCII and control characters must serialize as valid JSON —
+    /// Rust's `{:?}` would emit `\u{e9}`-style escapes no parser accepts.
+    #[test]
+    fn non_ascii_labels_emit_valid_json() {
+        let mut s = ResultSheet::new("tête", "Ta\tble 5.4 — «é»", &["μs", "naïve"]);
+        s.push("nœud\n№1", &[1.0, 2.0]);
+        let json = s.to_json();
+        assert!(!json.contains("\\u{"), "Rust-style escapes leaked: {json}");
+        // Non-ASCII passes through raw (valid JSON is UTF-8); control
+        // characters use standard short escapes.
+        assert!(json.contains("\"bench\": \"tête\""));
+        assert!(json.contains("Ta\\tble 5.4 — «é»"));
+        assert!(json.contains("\"columns\": [\"μs\", \"naïve\"]"));
+        assert!(json.contains("\"nœud\\n№1\""));
+    }
+
+    #[test]
+    fn relative_target_dir_resolves_against_workspace_root() {
+        let resolved = resolve_target_dir(PathBuf::from("custom-target"));
+        assert!(resolved.is_absolute());
+        assert_eq!(resolved, workspace_root().join("custom-target"));
+        assert!(
+            !resolved.to_str().unwrap().contains("crates"),
+            "must not resolve relative to the bench package dir: {resolved:?}"
+        );
+        let abs = PathBuf::from("/tmp/abs-target");
+        assert_eq!(resolve_target_dir(abs.clone()), abs);
+    }
+
+    #[test]
+    fn workspace_root_is_manifest_grandparent() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").exists(), "{root:?}");
+        assert!(root.join("crates").is_dir(), "{root:?}");
     }
 }

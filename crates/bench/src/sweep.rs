@@ -1,0 +1,554 @@
+//! The warm-state checkpoint/fork sweep engine.
+//!
+//! The paper's statistical sweeps (Tables 5.3 and 5.4) run hundreds of
+//! fault-injection experiments per fault type, and every one of them
+//! re-executes an identical warm-up prelude — the cache fill of Section 5.2
+//! or the parallel-make boot + ramp of Section 5.3 — before anything
+//! actually differs between runs. The sweep engine runs that prelude once
+//! per fill seed, snapshots the whole machine with
+//! [`flash_machine::Machine::checkpoint`], and forks every per-fault run
+//! from the snapshot: all fault types × several fault draws share one
+//! prelude, so paper-scale run counts cost a fraction of the from-scratch
+//! wall clock.
+//!
+//! ## Seed discipline
+//!
+//! A sweep is a pure function of `(machine config, runs_per_kind,
+//! forks_per_checkpoint)`. Run `r` of a fault kind maps to checkpoint group
+//! `g = r / K` and fork slot `j = r % K` (`K` = forks per kind per
+//! checkpoint): the machine (and its fill workloads) is seeded with `g`,
+//! and the fault is drawn from a [`DetRng`] seeded with
+//! [`fault_rng_seed`]`(g, kind, j)`. A from-scratch run with the same
+//! machine seed and fault spec is therefore exactly reproducible without
+//! the engine — which is how fork determinism is asserted: the forked run's
+//! [`flash_obs::Recorder::merged_hash`] must equal the from-scratch run's.
+//!
+//! ## Determinism of aggregation
+//!
+//! Groups are claimed by worker threads through an atomic counter, but each
+//! group writes its results into its own pre-allocated slot, and the final
+//! flattening orders runs by `(kind, run index)` — so the output is
+//! bit-identical whatever the worker count or OS scheduling.
+
+use crate::Stopwatch;
+use flash_core::{
+    finish_fault_experiment, prepare_fault_experiment, random_fault, ExperimentConfig,
+    ExperimentOutcome, FaultKind, RecoveryConfig,
+};
+use flash_hive::{
+    finish_parallel_make, prepare_parallel_make, EndToEndOutcome, HiveConfig, PreparedMake,
+};
+use flash_machine::MachineParams;
+use flash_sim::DetRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shape of a checkpoint/fork sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Completed runs per fault kind (the paper's per-type N).
+    pub runs_per_kind: usize,
+    /// Fault draws per kind taken from one checkpoint (`K`). Each
+    /// checkpoint serves `kinds × K` forks; larger values amortize the
+    /// prelude further at the cost of fill-seed diversity.
+    pub forks_per_checkpoint: usize,
+    /// Worker threads. `1` is fully sequential (and the aggregated output
+    /// is identical for any value).
+    pub workers: usize,
+}
+
+impl SweepConfig {
+    /// A sweep of `runs_per_kind` runs with the default amortization
+    /// (`K = 8`) and one worker per available CPU.
+    pub fn new(runs_per_kind: usize) -> Self {
+        SweepConfig {
+            runs_per_kind,
+            forks_per_checkpoint: 8,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// Number of checkpoint groups needed: `ceil(runs_per_kind / K)`.
+    pub fn n_groups(&self) -> usize {
+        self.runs_per_kind
+            .div_ceil(self.forks_per_checkpoint.max(1))
+    }
+}
+
+/// One completed sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepRun<O> {
+    /// The fault kind injected.
+    pub kind: FaultKind,
+    /// Run index within the kind (`0..runs_per_kind`).
+    pub run: usize,
+    /// The machine/fill seed of the checkpoint group this run forked from.
+    pub fill_seed: u64,
+    /// Injection point as a percentage of compile progress, for end-to-end
+    /// sweeps over a stage ladder; `0` when the fault is injected directly
+    /// after the fill prelude (validation sweeps).
+    pub stage_pct: u32,
+    /// The experiment outcome.
+    pub outcome: O,
+}
+
+/// The per-run fault-draw seed: a pure function of (checkpoint group,
+/// fault kind, fork slot), so any sweep run can be reproduced from scratch.
+pub fn fault_rng_seed(fill_seed: u64, kind: FaultKind, fork: u64) -> u64 {
+    (fill_seed.wrapping_mul(0x9E37_79B9) ^ kind as u64)
+        .wrapping_add(fork.wrapping_mul(0x517C_C1B7_2722_0A95))
+}
+
+/// Runs `n_groups` checkpoint groups across `workers` threads: each worker
+/// claims a group index, builds that group's warm state once with
+/// `prepare`, produces all of the group's runs with `run_group`, and
+/// deposits them at the group's own slot. The concatenation over group
+/// order is therefore deterministic regardless of worker count.
+pub fn run_checkpoint_groups<C, R, P, F>(
+    workers: usize,
+    n_groups: usize,
+    prepare: P,
+    run_group: F,
+) -> Vec<Vec<R>>
+where
+    // No `C: Send`: a group's warm state is built and consumed by the same
+    // worker thread (machines hold `Box<dyn Workload>`, which is not Send).
+    R: Send,
+    P: Fn(usize) -> C + Sync,
+    F: Fn(usize, C) -> Vec<R> + Sync,
+{
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..n_groups).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.max(1).min(n_groups.max(1)) {
+            s.spawn(|| loop {
+                let g = next.fetch_add(1, Ordering::Relaxed);
+                if g >= n_groups {
+                    break;
+                }
+                let ckpt = prepare(g);
+                let out = run_group(g, ckpt);
+                *slots[g].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("group completed"))
+        .collect()
+}
+
+/// Flattens per-group results (each holding `kinds × K` runs in `(kind,
+/// fork)` order) into per-kind runs ordered by run index, trimmed to
+/// `runs_per_kind`.
+fn aggregate<O>(
+    groups: Vec<Vec<SweepRun<O>>>,
+    kinds: &[FaultKind],
+    cfg: &SweepConfig,
+) -> Vec<SweepRun<O>> {
+    let mut flat: Vec<SweepRun<O>> = groups.into_iter().flatten().collect();
+    // Order by (kind position, run index); drop the overshoot of the last
+    // group so each kind has exactly `runs_per_kind` runs.
+    let pos = |k: FaultKind| kinds.iter().position(|&x| x as u64 == k as u64).unwrap();
+    flat.sort_by_key(|r| (pos(r.kind), r.run));
+    flat.retain(|r| r.run < cfg.runs_per_kind);
+    flat
+}
+
+/// Sweeps the Section 5.2 validation experiment (Table 5.3 methodology):
+/// one cache-fill prelude per checkpoint group, then `kinds × K` forked
+/// fault runs per group.
+///
+/// `make_cfg` maps a fill seed to the experiment configuration (it must set
+/// `cfg.seed` to the given seed for the seed discipline to hold).
+pub fn sweep_fault_experiments(
+    cfg: &SweepConfig,
+    kinds: &[FaultKind],
+    make_cfg: impl Fn(u64) -> ExperimentConfig + Sync,
+) -> Vec<SweepRun<ExperimentOutcome>> {
+    let k = cfg.forks_per_checkpoint.max(1);
+    let groups = run_checkpoint_groups(
+        cfg.workers,
+        cfg.n_groups(),
+        |g| {
+            let ecfg = make_cfg(g as u64);
+            (ecfg, prepare_fault_experiment(&ecfg).checkpoint())
+        },
+        |g, (ecfg, ckpt)| {
+            let mut out = Vec::with_capacity(kinds.len() * k);
+            for &kind in kinds {
+                for j in 0..k {
+                    let run = g * k + j;
+                    if run >= cfg.runs_per_kind {
+                        continue;
+                    }
+                    let mut rng = DetRng::new(fault_rng_seed(g as u64, kind, j as u64));
+                    let fault = random_fault(kind, ecfg.params.n_nodes, &mut rng);
+                    out.push(SweepRun {
+                        kind,
+                        run,
+                        fill_seed: g as u64,
+                        stage_pct: 0,
+                        outcome: finish_fault_experiment(ckpt.fork(), fault),
+                    });
+                }
+            }
+            out
+        },
+    );
+    aggregate(groups, kinds, cfg)
+}
+
+/// The paper's Section 5.3 injection points, stratified: faults were
+/// injected "at random times while the benchmark was running"; a sweep
+/// samples that over a ladder of compile-progress points. Deeper rungs
+/// share a longer prelude, which is where most of the fork speedup of the
+/// end-to-end sweep comes from.
+pub const DEFAULT_MAKE_STAGES: &[u32] = &[30, 50, 70, 90];
+
+/// Sweeps the Section 5.3 end-to-end experiment (Table 5.4 methodology).
+///
+/// Each checkpoint group boots the parallel make once, then warms it up a
+/// ladder of progress `stages` (percent of compile operations, ascending —
+/// see [`DEFAULT_MAKE_STAGES`]); at each rung, every fault kind forks `K`
+/// runs that inject right at that rung. Run `r` of a kind maps to group
+/// `g = r / (S·K)`, rung `s = (r / K) % S` and fork slot `j = r % K`, with
+/// the fault drawn from [`fault_rng_seed`]`(g, kind, s·K + j)` — so any
+/// run is reproducible from scratch as `prepare → warm_to_percent(stages[s])
+/// → finish` with machine seed `g`.
+pub fn sweep_parallel_make(
+    cfg: &SweepConfig,
+    kinds: &[FaultKind],
+    stages: &[u32],
+    params: MachineParams,
+    hive: &HiveConfig,
+    recovery: RecoveryConfig,
+) -> Vec<SweepRun<EndToEndOutcome>> {
+    let k = cfg.forks_per_checkpoint.max(1);
+    let stages = if stages.is_empty() { &[30] } else { stages };
+    let per_group = k * stages.len();
+    let n_groups = cfg.runs_per_kind.div_ceil(per_group);
+    let groups = run_checkpoint_groups(
+        cfg.workers,
+        n_groups,
+        |g| prepare_parallel_make(params, hive, recovery, g as u64),
+        |g, mut prep: PreparedMake| {
+            let mut out = Vec::with_capacity(kinds.len() * per_group);
+            for (s, &pct) in stages.iter().enumerate() {
+                // Climbing the ladder rung by rung is trace-identical to a
+                // single warm to this rung (warm_to_percent is an
+                // idempotent continuation).
+                prep.warm_to_percent(pct);
+                for &kind in kinds {
+                    for j in 0..k {
+                        let run = g * per_group + s * k + j;
+                        if run >= cfg.runs_per_kind {
+                            continue;
+                        }
+                        let mut rng =
+                            DetRng::new(fault_rng_seed(g as u64, kind, (s * k + j) as u64));
+                        let fault = random_fault(kind, params.n_nodes, &mut rng);
+                        out.push(SweepRun {
+                            kind,
+                            run,
+                            fill_seed: g as u64,
+                            stage_pct: pct,
+                            outcome: finish_parallel_make(prep.fork(), Some(fault)),
+                        });
+                    }
+                }
+            }
+            out
+        },
+    );
+    aggregate(groups, kinds, cfg)
+}
+
+/// Host-side wall-clock comparison of the forked sweep against the
+/// from-scratch equivalent at equal N — the speedup evidence recorded in
+/// `BENCH_sweep_fork.json`.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepTiming {
+    /// Total runs completed on each side.
+    pub runs: usize,
+    /// Host seconds for the checkpoint/fork sweep.
+    pub forked_secs: f64,
+    /// Host seconds for the same runs executed from scratch.
+    pub scratch_secs: f64,
+}
+
+impl SweepTiming {
+    /// Wall-clock speedup of forking over from-scratch.
+    pub fn speedup(&self) -> f64 {
+        self.scratch_secs / self.forked_secs.max(1e-12)
+    }
+}
+
+/// Times [`sweep_fault_experiments`] against the equivalent from-scratch
+/// loop (same seeds, same faults, same outcomes), returning both result
+/// sets and the timing. Used by the `sweep_fork` bench and the CI smoke
+/// job.
+pub fn time_fault_sweep(
+    cfg: &SweepConfig,
+    kinds: &[FaultKind],
+    make_cfg: impl Fn(u64) -> ExperimentConfig + Sync,
+) -> (
+    Vec<SweepRun<ExperimentOutcome>>,
+    Vec<SweepRun<ExperimentOutcome>>,
+    SweepTiming,
+) {
+    let sw = Stopwatch::start();
+    let forked = sweep_fault_experiments(cfg, kinds, &make_cfg);
+    let forked_secs = sw.secs();
+
+    let k = cfg.forks_per_checkpoint.max(1);
+    let sw = Stopwatch::start();
+    let groups = run_checkpoint_groups(
+        cfg.workers,
+        cfg.n_groups(),
+        |g| make_cfg(g as u64),
+        |g, ecfg| {
+            let mut out = Vec::with_capacity(kinds.len() * k);
+            for &kind in kinds {
+                for j in 0..k {
+                    let run = g * k + j;
+                    if run >= cfg.runs_per_kind {
+                        continue;
+                    }
+                    let mut rng = DetRng::new(fault_rng_seed(g as u64, kind, j as u64));
+                    let fault = random_fault(kind, ecfg.params.n_nodes, &mut rng);
+                    out.push(SweepRun {
+                        kind,
+                        run,
+                        fill_seed: g as u64,
+                        stage_pct: 0,
+                        outcome: flash_core::run_fault_experiment(&ecfg, fault),
+                    });
+                }
+            }
+            out
+        },
+    );
+    let scratch = aggregate(groups, kinds, cfg);
+    let scratch_secs = sw.secs();
+
+    let timing = SweepTiming {
+        runs: forked.len(),
+        forked_secs,
+        scratch_secs,
+    };
+    (forked, scratch, timing)
+}
+
+/// Times [`sweep_parallel_make`] against the equivalent from-scratch loop:
+/// each scratch run boots its own machine, warms it to the run's injection
+/// rung and finishes — same seeds, same faults, same outcomes. Returns
+/// both result sets and the timing.
+pub fn time_parallel_make_sweep(
+    cfg: &SweepConfig,
+    kinds: &[FaultKind],
+    stages: &[u32],
+    params: MachineParams,
+    hive: &HiveConfig,
+    recovery: RecoveryConfig,
+) -> (
+    Vec<SweepRun<EndToEndOutcome>>,
+    Vec<SweepRun<EndToEndOutcome>>,
+    SweepTiming,
+) {
+    let sw = Stopwatch::start();
+    let forked = sweep_parallel_make(cfg, kinds, stages, params, hive, recovery);
+    let forked_secs = sw.secs();
+
+    let k = cfg.forks_per_checkpoint.max(1);
+    let stages = if stages.is_empty() { &[30] } else { stages };
+    let per_group = k * stages.len();
+    let n_groups = cfg.runs_per_kind.div_ceil(per_group);
+    let sw = Stopwatch::start();
+    let groups = run_checkpoint_groups(
+        cfg.workers,
+        n_groups,
+        |g| g,
+        |g, _| {
+            let mut out = Vec::with_capacity(kinds.len() * per_group);
+            for (s, &pct) in stages.iter().enumerate() {
+                for &kind in kinds {
+                    for j in 0..k {
+                        let run = g * per_group + s * k + j;
+                        if run >= cfg.runs_per_kind {
+                            continue;
+                        }
+                        let mut rng =
+                            DetRng::new(fault_rng_seed(g as u64, kind, (s * k + j) as u64));
+                        let fault = random_fault(kind, params.n_nodes, &mut rng);
+                        let mut prep = prepare_parallel_make(params, hive, recovery, g as u64);
+                        prep.warm_to_percent(pct);
+                        out.push(SweepRun {
+                            kind,
+                            run,
+                            fill_seed: g as u64,
+                            stage_pct: pct,
+                            outcome: finish_parallel_make(prep, Some(fault)),
+                        });
+                    }
+                }
+            }
+            out
+        },
+    );
+    let scratch = aggregate(groups, kinds, cfg);
+    let scratch_secs = sw.secs();
+
+    let timing = SweepTiming {
+        runs: forked.len(),
+        forked_secs,
+        scratch_secs,
+    };
+    (forked, scratch, timing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64) -> ExperimentConfig {
+        let mut params = MachineParams::table_5_1();
+        params.n_nodes = 8;
+        let mut cfg = ExperimentConfig::new(params, seed);
+        cfg.fill_ops = 60;
+        cfg.total_ops = 160;
+        cfg
+    }
+
+    #[test]
+    fn group_math() {
+        let mut c = SweepConfig::new(20);
+        c.forks_per_checkpoint = 8;
+        assert_eq!(c.n_groups(), 3);
+        c.forks_per_checkpoint = 5;
+        assert_eq!(c.n_groups(), 4);
+        c.runs_per_kind = 1;
+        assert_eq!(c.n_groups(), 1);
+    }
+
+    #[test]
+    fn checkpoint_groups_are_deterministically_indexed() {
+        for workers in [1, 4] {
+            let out = run_checkpoint_groups(workers, 5, |g| g * 10, |g, c| vec![(g, c)]);
+            assert_eq!(out.len(), 5);
+            for (g, v) in out.iter().enumerate() {
+                assert_eq!(v, &vec![(g, g * 10)]);
+            }
+        }
+    }
+
+    /// The sweep yields exactly `runs_per_kind` runs per kind, ordered by
+    /// `(kind, run)`, and the aggregation is worker-count independent.
+    #[test]
+    fn sweep_shape_and_worker_independence() {
+        let kinds = [FaultKind::Node, FaultKind::FalseAlarm];
+        let mut cfg = SweepConfig::new(3);
+        cfg.forks_per_checkpoint = 2;
+        cfg.workers = 1;
+        let a = sweep_fault_experiments(&cfg, &kinds, tiny_cfg);
+        cfg.workers = 4;
+        let b = sweep_fault_experiments(&cfg, &kinds, tiny_cfg);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind as u64, y.kind as u64);
+            assert_eq!(x.run, y.run);
+            assert_eq!(x.fill_seed, y.fill_seed);
+            assert_eq!(x.outcome.trace_hash, y.outcome.trace_hash, "{:?}", x.kind);
+        }
+        // Per-kind run indices are exactly 0..runs_per_kind.
+        for &kind in &kinds {
+            let runs: Vec<usize> = a
+                .iter()
+                .filter(|r| r.kind as u64 == kind as u64)
+                .map(|r| r.run)
+                .collect();
+            assert_eq!(runs, vec![0, 1, 2]);
+        }
+    }
+
+    /// Forked runs hash identically to from-scratch runs with the same
+    /// seeds — the engine-level fork-determinism check (the per-fault-type
+    /// integration test lives in `tests/checkpoint_fork.rs`).
+    #[test]
+    fn forked_matches_scratch_at_equal_seeds() {
+        let kinds = [FaultKind::Node];
+        let mut cfg = SweepConfig::new(2);
+        cfg.forks_per_checkpoint = 2;
+        cfg.workers = 1;
+        let (forked, scratch, timing) = time_fault_sweep(&cfg, &kinds, tiny_cfg);
+        assert_eq!(forked.len(), scratch.len());
+        for (f, s) in forked.iter().zip(&scratch) {
+            assert_eq!(f.outcome.trace_hash, s.outcome.trace_hash);
+            assert_eq!(f.outcome.end_time, s.outcome.end_time);
+            assert_eq!(f.outcome.bus_errors, s.outcome.bus_errors);
+        }
+        assert_eq!(timing.runs, 2);
+        assert!(timing.speedup() > 0.0);
+    }
+
+    /// Staged end-to-end forks hash identically to from-scratch runs that
+    /// boot their own machine and warm straight to the same rung — the
+    /// checkpoint-ladder determinism check.
+    #[test]
+    fn staged_make_forks_match_scratch() {
+        let mut params = MachineParams::table_5_1();
+        params.n_nodes = 4;
+        let hive = flash_hive::HiveConfig {
+            n_cells: 4,
+            files_per_task: 2,
+            blocks_per_file: 8,
+            out_blocks: 4,
+            compute_ns: 10_000,
+            ..flash_hive::HiveConfig::default()
+        };
+        let kinds = [FaultKind::Node, FaultKind::Link];
+        let mut cfg = SweepConfig::new(4);
+        cfg.forks_per_checkpoint = 2;
+        cfg.workers = 1;
+        let stages = [30, 70];
+        let (forked, scratch, timing) = time_parallel_make_sweep(
+            &cfg,
+            &kinds,
+            &stages,
+            params,
+            &hive,
+            RecoveryConfig::default(),
+        );
+        assert_eq!(forked.len(), kinds.len() * 4);
+        assert_eq!(forked.len(), scratch.len());
+        // Both ladder rungs appear, and every forked run is bit-identical
+        // to its from-scratch twin.
+        assert!(forked.iter().any(|r| r.stage_pct == 30));
+        assert!(forked.iter().any(|r| r.stage_pct == 70));
+        for (f, s) in forked.iter().zip(&scratch) {
+            assert_eq!(f.run, s.run);
+            assert_eq!(f.stage_pct, s.stage_pct);
+            assert_eq!(
+                f.outcome.trace_hash, s.outcome.trace_hash,
+                "{:?} run {} stage {}%",
+                f.kind, f.run, f.stage_pct
+            );
+        }
+        assert_eq!(timing.runs, forked.len());
+        // Worker-count independence for the staged sweep.
+        cfg.workers = 4;
+        let b = sweep_parallel_make(
+            &cfg,
+            &kinds,
+            &stages,
+            params,
+            &hive,
+            RecoveryConfig::default(),
+        );
+        for (x, y) in forked.iter().zip(&b) {
+            assert_eq!(x.outcome.trace_hash, y.outcome.trace_hash);
+        }
+    }
+}

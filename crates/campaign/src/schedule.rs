@@ -214,20 +214,12 @@ pub fn generate(seed: u64, cfg: &GeneratorConfig) -> Schedule {
 // ----------------------------------------------------------------------
 
 /// Escapes a string for embedding in a JSON document.
+///
+/// The canonical escaper lives in `flash-obs` ([`flash_obs::json_escape_str`])
+/// so every hand-rolled JSON writer in the workspace shares one
+/// implementation; this re-exporting wrapper is kept for API compatibility.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    flash_obs::json_escape_str(s)
 }
 
 fn fault_to_json(f: &FaultSpec) -> String {

@@ -125,6 +125,9 @@ pub struct Directory {
     states: Vec<DirState>,
     versions: Vec<Version>,
     counters: Counters,
+    // Sorted index of lines currently in `DirState::Incoherent`, so the
+    // OS page service can find them without scanning every homed line.
+    incoherent: Vec<LineAddr>,
 }
 
 impl Directory {
@@ -138,6 +141,7 @@ impl Directory {
             states: vec![DirState::Uncached; n],
             versions: vec![Version::INITIAL; n],
             counters: Counters::new(),
+            incoherent: Vec::new(),
         }
     }
 
@@ -466,6 +470,7 @@ impl Directory {
                 }
             }
         }
+        self.index_marked(&marked);
         marked
     }
 
@@ -517,6 +522,7 @@ impl Directory {
                 }
             }
         }
+        self.index_marked(&marked);
         marked
     }
 
@@ -528,6 +534,9 @@ impl Directory {
         if matches!(self.states[i], DirState::Incoherent) {
             self.states[i] = DirState::Uncached;
             self.versions[i] = fresh;
+            if let Ok(p) = self.incoherent.binary_search(&line) {
+                self.incoherent.remove(p);
+            }
             true
         } else {
             false
@@ -538,7 +547,30 @@ impl Directory {
     /// identified a specific lost line).
     pub fn mark_incoherent(&mut self, line: LineAddr) {
         let i = self.idx(line);
+        if !matches!(self.states[i], DirState::Incoherent) {
+            if let Err(p) = self.incoherent.binary_search(&line) {
+                self.incoherent.insert(p, line);
+            }
+        }
         self.states[i] = DirState::Incoherent;
+    }
+
+    /// The lines currently marked incoherent, in ascending address order —
+    /// the same order a full [`Directory::iter_states`] scan would find
+    /// them, but in O(marked) rather than O(lines homed).
+    pub fn incoherent_lines(&self) -> &[LineAddr] {
+        &self.incoherent
+    }
+
+    /// Merges freshly marked lines (ascending, previously not incoherent)
+    /// into the sorted index.
+    fn index_marked(&mut self, marked: &[LineAddr]) {
+        if marked.is_empty() {
+            return;
+        }
+        self.incoherent.extend_from_slice(marked);
+        self.incoherent.sort_unstable();
+        self.incoherent.dedup();
     }
 
     /// Iterates over `(line, state)` for all lines homed here.
@@ -865,5 +897,44 @@ mod upgrade_tests {
         }
         assert_eq!(d.state(LineAddr(3)), DirState::Uncached);
         assert_eq!(d.state(LineAddr(4)), DirState::Exclusive(NodeId(2)));
+    }
+
+    /// `incoherent_lines()` must always equal the full-scan answer: it is
+    /// what the OS page service trusts instead of walking every line.
+    #[test]
+    fn incoherent_index_tracks_marks_and_clears() {
+        let layout = MemLayout::new(4, 64);
+        let mut d = Directory::new(NodeId(0), layout);
+        let scan = |d: &Directory| -> Vec<LineAddr> {
+            d.iter_states()
+                .filter(|(_, s)| matches!(s, DirState::Incoherent))
+                .map(|(l, _)| l)
+                .collect()
+        };
+        // Dirty-remote lines (live and dead owners alike) become incoherent
+        // at the post-flush scan.
+        d.handle(LineAddr(5), HomeIn::GetX { from: NodeId(2) });
+        d.handle(LineAddr(9), HomeIn::GetX { from: NodeId(3) });
+        let marked = d.scan_and_reset();
+        assert_eq!(marked, vec![LineAddr(5), LineAddr(9)]);
+        assert_eq!(d.incoherent_lines(), scan(&d).as_slice());
+        // Direct marks (truncated-packet path), idempotently.
+        d.mark_incoherent(LineAddr(7));
+        d.mark_incoherent(LineAddr(7));
+        assert_eq!(
+            d.incoherent_lines(),
+            &[LineAddr(5), LineAddr(7), LineAddr(9)]
+        );
+        assert_eq!(d.incoherent_lines(), scan(&d).as_slice());
+        // Clearing removes from the index; clearing a coherent line is a
+        // no-op on it.
+        assert!(d.clear_incoherent(LineAddr(7), Version::INITIAL.next()));
+        assert!(!d.clear_incoherent(LineAddr(6), Version::INITIAL.next()));
+        assert_eq!(d.incoherent_lines(), &[LineAddr(5), LineAddr(9)]);
+        assert_eq!(d.incoherent_lines(), scan(&d).as_slice());
+        // A second scan re-marks nothing and keeps the index sorted/deduped.
+        let marked = d.scan_and_reset();
+        assert!(marked.is_empty());
+        assert_eq!(d.incoherent_lines(), scan(&d).as_slice());
     }
 }

@@ -77,6 +77,11 @@ pub struct ExperimentOutcome {
     /// Trace records evicted from the bounded recorder rings during the run
     /// (0 means the captured trace is complete).
     pub trace_dropped: u64,
+    /// FNV-1a hash of the merged structured trace at the end of the run
+    /// ([`flash_obs::Recorder::merged_hash`]): the fork-determinism witness —
+    /// a run forked from a warm checkpoint must hash identically to a
+    /// from-scratch run with the same seeds.
+    pub trace_hash: u64,
 }
 
 impl ExperimentOutcome {
@@ -91,6 +96,19 @@ impl ExperimentOutcome {
 /// random cache fill → inject `fault` → distributed recovery → drain →
 /// oracle validation.
 pub fn run_fault_experiment(cfg: &ExperimentConfig, fault: FaultSpec) -> ExperimentOutcome {
+    let m = prepare_fault_experiment(cfg);
+    finish_fault_experiment(m, fault)
+}
+
+/// Builds the machine and runs the cache-fill prelude (Phase A): every
+/// processor completes `cfg.fill_ops` operations with no fault armed.
+///
+/// The returned machine is warm and checkpointable: sweep harnesses call
+/// [`flash_machine::Machine::checkpoint`] on it once and
+/// [`flash_machine::Checkpoint::fork`] one fork per fault, amortizing the
+/// fill across every run that shares `(params, seed)`. Composing this with
+/// [`finish_fault_experiment`] is exactly [`run_fault_experiment`].
+pub fn prepare_fault_experiment(cfg: &ExperimentConfig) -> FcMachine {
     let layout = cfg.params.layout();
     let protected = cfg.params.protected_lines;
     let (total_ops, write_fraction) = (cfg.total_ops, cfg.write_fraction);
@@ -128,7 +146,13 @@ pub fn run_fault_experiment(cfg: &ExperimentConfig, fault: FaultSpec) -> Experim
             break;
         }
     }
+    m
+}
 
+/// Injects `fault` into a warm machine (fresh from
+/// [`prepare_fault_experiment`] or forked from its checkpoint), runs to
+/// quiescence and validates against the oracle (Phases B and C).
+pub fn finish_fault_experiment(mut m: FcMachine, fault: FaultSpec) -> ExperimentOutcome {
     // Phase B: inject the fault while the workload is running.
     let inject_at = m.now() + SimDuration::from_nanos(1);
     m.schedule_fault(inject_at, fault);
@@ -150,6 +174,7 @@ pub fn run_fault_experiment(cfg: &ExperimentConfig, fault: FaultSpec) -> Experim
         end_time: m.now(),
         finished,
         trace_dropped: m.st().obs.dropped_total(),
+        trace_hash: m.st().obs.merged_hash(),
     }
 }
 

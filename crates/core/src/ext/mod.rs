@@ -220,7 +220,11 @@ type St = MachineState<RecMsg>;
 /// The recovery algorithm extension: plugs into
 /// [`flash_machine::Machine`] and reacts to the hardware triggers of
 /// Table 4.1.
-#[derive(Debug)]
+///
+/// `Clone` makes the whole `Machine<RecoveryExt>` checkpointable: a
+/// snapshot taken mid-recovery (between phases) carries the per-node
+/// recovery records, phase-entry log and barrier/ping state with it.
+#[derive(Clone, Debug)]
 pub struct RecoveryExt {
     /// Algorithm parameters.
     pub cfg: RecoveryConfig,

@@ -37,6 +37,10 @@ pub struct EndToEndOutcome {
     pub lines_reinitialized: u64,
     /// Whether the run reached a terminal state within its budget.
     pub finished: bool,
+    /// FNV-1a hash of the merged structured trace at the end of the run
+    /// ([`flash_obs::Recorder::merged_hash`]): the fork-determinism witness
+    /// for end-to-end runs forked from a warm [`PreparedMake`].
+    pub trace_hash: u64,
 }
 
 impl EndToEndOutcome {
@@ -69,6 +73,95 @@ pub fn run_parallel_make(
     fault: Option<FaultSpec>,
     seed: u64,
 ) -> EndToEndOutcome {
+    let mut prep = prepare_parallel_make(params, hive, recovery, seed);
+    if fault.is_some() {
+        prep.warm();
+    }
+    finish_parallel_make(prep, fault)
+}
+
+/// A booted (and optionally warmed) parallel-make experiment: the machine
+/// with server and compile workloads installed and started, plus the cell
+/// layout needed to account outcomes.
+///
+/// Cloning a `PreparedMake` is the end-to-end checkpoint: warm one with
+/// [`PreparedMake::warm`], then [`PreparedMake::fork`] one copy per fault —
+/// each fork, driven through [`finish_parallel_make`], produces a trace
+/// hash bit-identical to a from-scratch run with the same seed.
+#[derive(Clone, Debug)]
+pub struct PreparedMake {
+    m: FcMachine,
+    layout: CellLayout,
+    client_nodes: Vec<NodeId>,
+    hive: HiveConfig,
+}
+
+impl PreparedMake {
+    /// Runs the machine until any compile reaches ~30% of its operations —
+    /// [`run_parallel_make`]'s injection point. Idempotent once the
+    /// threshold is reached.
+    pub fn warm(&mut self) {
+        self.warm_to_percent(30);
+    }
+
+    /// Runs the machine until the make is `pct`% done — mean compile
+    /// progress across client cells (summed operations against the summed
+    /// budget, so one fast or slow client does not skew the injection
+    /// point). The paper injects faults at random times while the benchmark
+    /// runs; sweeps stratify that over several progress points,
+    /// checkpointing at each rung of the ladder (a deeper rung shares a
+    /// longer prelude across its forks). Idempotent once the threshold is
+    /// reached, so warming a machine rung by rung leaves it in exactly the
+    /// state a single `warm_to_percent` call would have.
+    pub fn warm_to_percent(&mut self, pct: u32) {
+        let total_budget = self.hive.ops_per_task() * self.client_nodes.len() as u64;
+        let inject_threshold = total_budget * u64::from(pct) / 100;
+        let mut guard = 0;
+        loop {
+            let done: u64 = self
+                .client_nodes
+                .iter()
+                .map(|c| self.m.st().nodes[c.index()].workload.progress())
+                .sum();
+            if done >= inject_threshold {
+                break;
+            }
+            self.m.run_for(SimDuration::from_micros(50));
+            guard += 1;
+            if guard > 2_000_000 {
+                break;
+            }
+        }
+    }
+
+    /// Deep-copies the warm experiment — one fork per fault to amortize the
+    /// boot + warm-up prelude across a sweep.
+    pub fn fork(&self) -> PreparedMake {
+        self.clone()
+    }
+
+    /// Read access to the underlying machine (inspection).
+    pub fn machine(&self) -> &FcMachine {
+        &self.m
+    }
+
+    /// Consumes the prepared experiment, returning the machine (custom
+    /// drivers that need more control than [`finish_parallel_make`]).
+    pub fn into_machine(self) -> FcMachine {
+        self.m
+    }
+}
+
+/// Boots the parallel-make experiment: builds the machine, computes
+/// placement, installs the server and compile workloads and starts every
+/// processor. No warm-up is run — call [`PreparedMake::warm`] before
+/// injecting a fault (matching [`run_parallel_make`]'s behavior).
+pub fn prepare_parallel_make(
+    params: MachineParams,
+    hive: &HiveConfig,
+    recovery: RecoveryConfig,
+    seed: u64,
+) -> PreparedMake {
     let layout = CellLayout::contiguous(params.n_nodes, hive.n_cells);
     let server = layout.boot_node(0);
 
@@ -117,24 +210,27 @@ pub fn run_parallel_make(
     m.set_event_budget(4_000_000_000);
     m.start();
 
-    // Run until the compiles are ~30% done, then inject.
-    let inject_threshold = hive.ops_per_task() * 3 / 10;
-    if fault.is_some() {
-        let mut guard = 0;
-        loop {
-            m.run_for(SimDuration::from_micros(50));
-            let ready = client_nodes
-                .iter()
-                .any(|c| m.st().nodes[c.index()].workload.progress() >= inject_threshold);
-            if ready {
-                break;
-            }
-            guard += 1;
-            if guard > 2_000_000 {
-                break;
-            }
-        }
-        m.schedule_fault(m.now() + SimDuration::from_nanos(1), fault.clone().unwrap());
+    PreparedMake {
+        m,
+        layout,
+        client_nodes,
+        hive: *hive,
+    }
+}
+
+/// Drives a booted (and, for fault runs, warmed) experiment to its terminal
+/// state: optional fault injection, hardware recovery, OS recovery and
+/// per-compile outcome accounting.
+pub fn finish_parallel_make(prep: PreparedMake, fault: Option<FaultSpec>) -> EndToEndOutcome {
+    let PreparedMake {
+        mut m,
+        layout,
+        client_nodes,
+        hive,
+    } = prep;
+
+    if let Some(spec) = fault.clone() {
+        m.schedule_fault(m.now() + SimDuration::from_nanos(1), spec);
     }
 
     // Run until every compile reaches a terminal state (its processor halts
@@ -222,6 +318,7 @@ pub fn run_parallel_make(
         os_time,
         lines_reinitialized,
         finished,
+        trace_hash: m.st().obs.merged_hash(),
     }
 }
 

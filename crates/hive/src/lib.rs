@@ -49,6 +49,9 @@ pub mod os;
 mod task;
 
 pub use cells::CellLayout;
-pub use experiment::{run_parallel_make, CompileOutcome, EndToEndOutcome};
+pub use experiment::{
+    finish_parallel_make, prepare_parallel_make, run_parallel_make, CompileOutcome,
+    EndToEndOutcome, PreparedMake,
+};
 pub use os::{HiveConfig, HivePlacement};
 pub use task::{CompileTask, RpcAudit, ServerLoop, TaskState};

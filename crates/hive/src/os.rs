@@ -193,13 +193,11 @@ pub fn os_recover(m: &mut FcMachine) -> u64 {
         if !m.st().nodes[i].is_alive() {
             continue;
         }
-        // Collect incoherent lines homed here.
-        let incoherent: Vec<flash_coherence::LineAddr> = m.st().nodes[i]
-            .dir
-            .iter_states()
-            .filter(|(_, s)| matches!(s, flash_coherence::DirState::Incoherent))
-            .map(|(l, _)| l)
-            .collect();
+        // The directory maintains a sorted incoherent-line index, so this
+        // costs O(marked) per node rather than a full O(lines) scan — at
+        // sweep scale the scan dominated the whole OS-recovery pass.
+        let incoherent: Vec<flash_coherence::LineAddr> =
+            m.st().nodes[i].dir.incoherent_lines().to_vec();
         let st = m.st_mut();
         for line in incoherent {
             // The page is reinitialized with fresh data; the oracle tracks

@@ -185,6 +185,10 @@ impl CompileTask {
 }
 
 impl Workload for CompileTask {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn progress(&self) -> u64 {
         self.ops_done
     }
@@ -331,6 +335,10 @@ impl ServerLoop {
 }
 
 impl Workload for ServerLoop {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn next_op(&mut self, _node: NodeId, rng: &mut DetRng) -> ProcOp {
         if !self.monitor.is_empty() && rng.chance(0.1) {
             let line = *rng.choose(&self.monitor).expect("nonempty");

@@ -49,7 +49,7 @@ mod payload;
 mod workload;
 
 pub use fault::FaultSpec;
-pub use machine::{Ev, Extension, Machine, MachineState, MachineWorld, NullExtension};
+pub use machine::{Checkpoint, Ev, Extension, Machine, MachineState, MachineWorld, NullExtension};
 pub use node::{IoDevice, NodeCtx, OutPkt, ProcState};
 pub use oracle::{Oracle, ValidationReport};
 pub use params::{MachineParams, TopologyKind};

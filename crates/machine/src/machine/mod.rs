@@ -168,7 +168,10 @@ impl Extension for NullExtension {
 }
 
 /// All simulated hardware state.
-#[derive(Debug)]
+///
+/// Cloning (for checkpoint/fork) deep-copies every node, the fabric, the
+/// oracle and the recorder; see [`Machine::checkpoint`].
+#[derive(Clone, Debug)]
 pub struct MachineState<R> {
     /// Configuration.
     pub params: MachineParams,
@@ -419,10 +422,59 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
 }
 
 /// A complete simulated machine with its event engine.
-#[derive(Debug)]
+///
+/// When the extension is `Clone`, the whole machine is: see
+/// [`Machine::checkpoint`] for the warm-state snapshot API.
+#[derive(Clone, Debug)]
 pub struct Machine<X: Extension> {
     world: MachineWorld<X>,
     engine: Engine<Ev<X::Ev>>,
+}
+
+/// A warm-state snapshot of a whole machine, taken with
+/// [`Machine::checkpoint`] and re-instantiated with [`Checkpoint::fork`].
+///
+/// A checkpoint captures *everything* that determines future behavior: the
+/// event queue (pending events, insertion order, window position), the
+/// simulation clock, every node's cache/directory/controller/workload
+/// cursor/RNG, the fabric's queues and packet slab, the oracle, the
+/// recorder (sequence counter included) and the extension. A fork therefore
+/// replays bit-identically: running a fork produces the same merged trace —
+/// and so the same [`flash_obs::Recorder::merged_hash`] — as running the
+/// original from the same point.
+///
+/// Checkpoints may be taken at any event boundary, including mid-recovery
+/// (between recovery phases): in-flight recovery messages and timed
+/// extension events live in the cloned event queue and extension state, so
+/// they are part of the snapshot.
+#[derive(Clone, Debug)]
+pub struct Checkpoint<X: Extension + Clone>(Machine<X>);
+
+impl<X: Extension + Clone> Checkpoint<X> {
+    /// Instantiates a fresh runnable machine from the snapshot. May be
+    /// called any number of times; forks are independent.
+    pub fn fork(&self) -> Machine<X> {
+        self.0.clone()
+    }
+
+    /// Simulated time at which the snapshot was taken.
+    pub fn taken_at(&self) -> SimTime {
+        self.0.now()
+    }
+
+    /// Read access to the snapshotted machine state (inspection only).
+    pub fn st(&self) -> &MachineState<X::Msg> {
+        self.0.st()
+    }
+}
+
+impl<X: Extension + Clone> Machine<X> {
+    /// Takes a warm-state snapshot of the whole machine — event queue,
+    /// clock, nodes, fabric, oracle, recorder and extension — from which
+    /// any number of independent runs can be [`Checkpoint::fork`]ed.
+    pub fn checkpoint(&self) -> Checkpoint<X> {
+        Checkpoint(self.clone())
+    }
 }
 
 impl<X: Extension> Machine<X> {

@@ -20,7 +20,11 @@ use flash_sim::{Scheduler, SimDuration, SimTime, World};
 ///
 /// Also owns the scratch buffers the hot fabric path drains into, so a net
 /// event or a pump burst performs no per-event allocation.
-#[derive(Debug)]
+///
+/// Cloning (for checkpoint/fork) copies the machine state, the extension
+/// and the wake-coalescing table; the scratch buffers are always empty
+/// between dispatches, so a clone taken between events is exact.
+#[derive(Clone, Debug)]
 pub struct MachineWorld<X: Extension> {
     /// Hardware state.
     pub st: MachineState<X::Msg>,

@@ -95,7 +95,11 @@ pub struct OutPkt<R> {
 }
 
 /// Everything living on one node of the machine.
-#[derive(Debug)]
+///
+/// Cloning a node (for checkpoint/fork) deep-copies the cache, directory,
+/// controller units, workload cursor, RNG and outbound queues, so a forked
+/// machine resumes from exactly this node's state.
+#[derive(Clone, Debug)]
 pub struct NodeCtx<R> {
     /// This node's id.
     pub id: NodeId,

@@ -46,9 +46,17 @@ pub enum OpResult {
 
 /// A source of processor operations. Implementations must be deterministic
 /// given the per-node RNG handed to [`Workload::next_op`].
+///
+/// Workloads must be cloneable ([`Workload::clone_box`]) so the machine can
+/// be checkpointed: a checkpoint snapshots every workload's cursor (ops
+/// remaining, results observed, internal counters) alongside the rest of the
+/// machine, and a forked run resumes from exactly that cursor.
 pub trait Workload: std::fmt::Debug {
     /// Produces the next operation for `node`.
     fn next_op(&mut self, node: NodeId, rng: &mut DetRng) -> ProcOp;
+
+    /// Deep-copies the workload, cursor included (checkpoint support).
+    fn clone_box(&self) -> Box<dyn Workload>;
 
     /// Observes the completion (or bus-erroring) of the previous operation.
     fn on_result(&mut self, _node: NodeId, _result: OpResult) {}
@@ -63,6 +71,12 @@ pub trait Workload: std::fmt::Debug {
     /// workload state after a run.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
+    }
+}
+
+impl Clone for Box<dyn Workload> {
+    fn clone(&self) -> Self {
+        self.clone_box()
     }
 }
 
@@ -142,6 +156,10 @@ impl RandomFill {
 }
 
 impl Workload for RandomFill {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn progress(&self) -> u64 {
         self.completed
     }
@@ -212,6 +230,10 @@ impl Script {
 }
 
 impl Workload for Script {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(self.clone())
+    }
+
     fn progress(&self) -> u64 {
         self.results.len() as u64
     }
@@ -234,6 +256,10 @@ impl Workload for Script {
 pub struct Idle;
 
 impl Workload for Idle {
+    fn clone_box(&self) -> Box<dyn Workload> {
+        Box::new(*self)
+    }
+
     fn next_op(&mut self, _node: NodeId, _rng: &mut DetRng) -> ProcOp {
         ProcOp::Halt
     }

@@ -155,13 +155,13 @@ pub struct Nbr {
     pub link: LinkId,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Transit {
     send_time: SimTime,
     target: Target,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct OutQueue<P> {
     q: VecDeque<Packet<P>>,
     flits: u32,
@@ -186,7 +186,7 @@ impl<P> OutQueue<P> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct InQueue<P> {
     q: VecDeque<Packet<P>>,
     flits: u32,
@@ -210,7 +210,11 @@ impl<P> InQueue<P> {
 /// The fabric does not own an event loop; the embedding machine forwards
 /// [`NetEv`]s into [`Fabric::handle`] and schedules the `(delay, NetEv)`
 /// pairs the fabric pushes into its `out` argument.
-#[derive(Debug)]
+///
+/// Cloning a `Fabric` (for checkpoint/fork) deep-copies every queue, the
+/// packet slab and all failure state, so a clone evolves identically to
+/// the original under the same event sequence.
+#[derive(Clone, Debug)]
 pub struct Fabric<P> {
     params: NetParams,
     n_routers: usize,

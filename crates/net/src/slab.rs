@@ -12,7 +12,7 @@ pub struct PacketMeta {
     pub links_crossed: u32,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Slot {
     gen: u32,
     live: bool,
@@ -28,7 +28,7 @@ struct Slot {
 /// for the lifetime of a fabric, and allocation order is driven by the
 /// deterministic event order, so a given (configuration, seed) still yields
 /// identical ids.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct PacketSlab {
     slots: Vec<Slot>,
     free: Vec<u32>,

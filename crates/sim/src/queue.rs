@@ -56,6 +56,7 @@ fn low_mask(n: usize) -> u64 {
 }
 
 /// An entry in the overflow heap: ordered by time, then insertion sequence.
+#[derive(Clone)]
 struct Entry<E> {
     time: SimTime,
     seq: u64,
@@ -99,6 +100,11 @@ impl<E> Ord for Entry<E> {
 /// let (t, ev) = q.pop().unwrap();
 /// assert_eq!((t.as_nanos(), ev), (10, "early"));
 /// ```
+///
+/// Cloning an `EventQueue` (for checkpoint/fork) preserves the pending
+/// set, insertion sequence numbers and window position exactly, so a
+/// clone pops the same `(time, event)` sequence as the original.
+#[derive(Clone)]
 pub struct EventQueue<E> {
     /// Near-horizon buckets, indexed by `tick & RING_MASK`. Within the
     /// active window each tick maps to a distinct bucket.

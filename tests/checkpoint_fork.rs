@@ -1,0 +1,148 @@
+//! Fork-determinism and checkpoint-placement tests for the warm-state
+//! checkpoint/fork engine (the machinery behind the paper-scale sweeps of
+//! Tables 5.3 and 5.4).
+//!
+//! The correctness contract is trace-hash equivalence: a run forked from a
+//! warm checkpoint must produce a [`flash::obs::Recorder::merged_hash`]
+//! bit-identical to a from-scratch run with the same seeds. The hash covers
+//! every recorded event in every trace domain in order, so any divergence
+//! in timing, message order, RNG state or workload cursor shows up.
+
+use flash::core::{
+    finish_fault_experiment, prepare_fault_experiment, random_fault, run_fault_experiment,
+    ExperimentConfig, FaultKind, RecoveryConfig,
+};
+use flash::hive::{finish_parallel_make, prepare_parallel_make, HiveConfig};
+use flash::machine::MachineParams;
+use flash::sim::DetRng;
+
+fn quick_experiment(seed: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::new(MachineParams::table_5_1(), seed);
+    cfg.fill_ops = 400;
+    cfg.total_ops = 1_000;
+    cfg
+}
+
+/// For every fault type, a run forked from a warm checkpoint produces the
+/// same trace hash, end time and validation outcome as a from-scratch run
+/// with identical seeds (pinned: machine seed 11, fault seed derived per
+/// kind).
+#[test]
+fn forked_run_matches_scratch_for_every_fault_type() {
+    let cfg = quick_experiment(11);
+    let ckpt = prepare_fault_experiment(&cfg).checkpoint();
+    for (i, &kind) in FaultKind::ALL.iter().enumerate() {
+        let draw = || {
+            let mut rng = DetRng::new(0xF0 + i as u64);
+            random_fault(kind, cfg.params.n_nodes, &mut rng)
+        };
+        let forked = finish_fault_experiment(ckpt.fork(), draw());
+        let scratch = run_fault_experiment(&cfg, draw());
+        assert!(forked.finished && scratch.finished, "{kind:?}");
+        assert_eq!(
+            forked.trace_hash, scratch.trace_hash,
+            "{kind:?}: forked trace diverged from from-scratch"
+        );
+        assert_eq!(forked.end_time, scratch.end_time, "{kind:?}");
+        assert_eq!(forked.bus_errors, scratch.bus_errors, "{kind:?}");
+        assert_eq!(
+            forked.validation.passed(),
+            scratch.validation.passed(),
+            "{kind:?}"
+        );
+        // Forks are independent: a second fork replays identically.
+        let again = finish_fault_experiment(ckpt.fork(), draw());
+        assert_eq!(again.trace_hash, forked.trace_hash, "{kind:?} refork");
+    }
+}
+
+/// End-to-end (Table 5.4 methodology): a parallel-make run forked from a
+/// mid-make warm checkpoint hashes identically to a from-scratch run that
+/// boots its own machine and warms to the same progress point.
+#[test]
+fn end_to_end_fork_matches_scratch_mid_make() {
+    let mut params = MachineParams::table_5_1();
+    params.n_nodes = 4;
+    let hive = HiveConfig {
+        n_cells: 4,
+        files_per_task: 2,
+        blocks_per_file: 8,
+        out_blocks: 4,
+        compute_ns: 10_000,
+        ..HiveConfig::default()
+    };
+    let recovery = RecoveryConfig::default();
+    let fault = || {
+        let mut rng = DetRng::new(77);
+        random_fault(FaultKind::Node, params.n_nodes, &mut rng)
+    };
+
+    let mut warm = prepare_parallel_make(params, &hive, recovery, 5);
+    warm.warm_to_percent(50);
+    let forked = finish_parallel_make(warm.fork(), Some(fault()));
+
+    let mut scratch_prep = prepare_parallel_make(params, &hive, recovery, 5);
+    scratch_prep.warm_to_percent(50);
+    let scratch = finish_parallel_make(scratch_prep, Some(fault()));
+
+    assert!(forked.finished && scratch.finished);
+    assert_eq!(forked.trace_hash, scratch.trace_hash);
+    assert_eq!(forked.lines_reinitialized, scratch.lines_reinitialized);
+    assert_eq!(forked.compiles, scratch.compiles);
+}
+
+/// Checkpoints may be taken mid-recovery — between the P1 and P4 phase
+/// entries — and a fork taken there still replays bit-identically: the
+/// in-flight recovery messages and timed extension events are part of the
+/// snapshot. (This is the "supported" branch of the supported-or-cleanly-
+/// rejected contract; nothing needs rejecting.)
+#[test]
+fn checkpoint_mid_recovery_replays_identically() {
+    use flash::sim::SimDuration;
+
+    let cfg = quick_experiment(23);
+    let mut m = prepare_fault_experiment(&cfg);
+    let fault = {
+        let mut rng = DetRng::new(0xAB);
+        random_fault(FaultKind::Node, cfg.params.n_nodes, &mut rng)
+    };
+    m.schedule_fault(m.now() + SimDuration::from_nanos(1), fault);
+
+    // Run in fine slices until the machine is inside recovery, strictly
+    // past the P1 entry and before completion.
+    let mut guard = 0;
+    loop {
+        m.run_for(SimDuration::from_micros(5));
+        let entries = m.ext().phase_entries();
+        if m.ext().recovery_active() && entries.p2.is_some() && !m.ext().report.completed() {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 2_000_000, "never reached mid-recovery state");
+    }
+    let entries = m.ext().phase_entries();
+    assert!(entries.p1.is_some() && entries.p2.is_some());
+    assert!(
+        entries.p4.is_none() || !m.ext().report.completed(),
+        "checkpoint must land before recovery completes"
+    );
+
+    let ckpt = m.checkpoint();
+    let mut fork = ckpt.fork();
+
+    // Drive the original and the fork through identical horizons.
+    let budget = m.now() + SimDuration::from_secs(20);
+    m.run_until(budget);
+    fork.run_until(budget);
+
+    assert_eq!(m.now(), fork.now());
+    assert_eq!(
+        m.st().obs.merged_hash(),
+        fork.st().obs.merged_hash(),
+        "mid-recovery fork diverged from the original"
+    );
+    assert!(m.ext().report.completed());
+    assert!(fork.ext().report.completed());
+    assert!(m.st().validate().passed());
+    assert!(fork.st().validate().passed());
+}
