@@ -30,6 +30,19 @@ fn campaign(runs: u64, workers: usize, firewall: bool) -> CampaignReport {
     })
 }
 
+fn gray_campaign(runs: u64, workers: usize) -> CampaignReport {
+    run_campaign(&CampaignConfig {
+        master_seed: 1,
+        runs,
+        workers,
+        generator: GeneratorConfig {
+            hive_chance: 0.15,
+            gray_chance: 0.45,
+            ..GeneratorConfig::default()
+        },
+    })
+}
+
 fn main() {
     banner(
         "Chaos campaign: randomized multi-fault injection + invariant stack",
@@ -102,6 +115,29 @@ fn main() {
     sheet.push(
         "firewall_on_par",
         &[runs as f64, par.total_violations() as f64, par.host_secs],
+    );
+
+    // Phase 1b: the gray-failure mix (fail-slow nodes, degraded memory,
+    // lossy links, pool failures blended into the fail-stop schedule) —
+    // the containment story must hold, and stay worker-count-independent,
+    // when faults degrade instead of stopping.
+    let gray = gray_campaign(runs, workers);
+    println!(
+        "{:<34} {:>8} {:>12} {:>10.2}",
+        format!("gray mix, {workers} workers"),
+        runs,
+        gray.total_violations(),
+        gray.host_secs
+    );
+    assert_eq!(
+        gray.total_violations(),
+        0,
+        "gray-failure campaign must hold every invariant; failing seeds: {:?}",
+        gray.failures().map(|f| f.schedule.seed).collect::<Vec<_>>()
+    );
+    sheet.push(
+        "gray_mix",
+        &[runs as f64, gray.total_violations() as f64, gray.host_secs],
     );
 
     // Phase 2: the seeded bug. Disable the firewall and let the campaign

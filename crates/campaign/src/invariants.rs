@@ -13,7 +13,7 @@
 use flash_core::FcMachine;
 use flash_core::RecMsg;
 use flash_hive::{CompileTask, TaskState};
-use flash_machine::MachineState;
+use flash_machine::{FaultSpec, MachineState};
 use flash_net::{NodeId, RouterId, UGraph};
 
 /// One invariant violation found by the stack.
@@ -34,18 +34,73 @@ impl Violation {
     }
 }
 
+/// What gray faults actually *fired* during a run, distilled from the armed
+/// fault list (never-armed phase events are excluded — they did not happen).
+/// The gray-specific invariants key off these facts so they only apply to
+/// runs whose failure mix makes their guarantee unconditional.
+#[derive(Clone, Debug, Default)]
+pub struct GrayFacts {
+    /// Nodes hit by a `FailSlow` fault.
+    pub fail_slow: Vec<NodeId>,
+    /// Nodes hit by a `DegradedMemory` fault.
+    pub degraded: Vec<NodeId>,
+    /// Number of `LossyLink` faults.
+    pub lossy_links: usize,
+    /// Whether a fail-stop `Link` fault fired (can legitimately strand
+    /// traffic until recovery reroutes, so it weakens gray liveness claims).
+    pub link_faults: bool,
+    /// Whether any fired fault doomed at least one node.
+    pub doomed_any: bool,
+}
+
+impl GrayFacts {
+    /// Distills the facts from the list of faults that fired.
+    pub fn from_faults(faults: &[FaultSpec]) -> GrayFacts {
+        fn walk(f: &FaultSpec, g: &mut GrayFacts) {
+            match f {
+                FaultSpec::FailSlow(n, _) => g.fail_slow.push(*n),
+                FaultSpec::DegradedMemory(n, _, _) => g.degraded.push(*n),
+                FaultSpec::LossyLink(..) => g.lossy_links += 1,
+                FaultSpec::Link(..) => g.link_faults = true,
+                FaultSpec::Multi(list) => {
+                    for m in list {
+                        walk(m, g);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut g = GrayFacts::default();
+        for f in faults {
+            walk(f, &mut g);
+            g.doomed_any |= !f.doomed_nodes().is_empty();
+        }
+        g
+    }
+
+    /// Whether any gray fault fired at all.
+    pub fn any(&self) -> bool {
+        !self.fail_slow.is_empty() || !self.degraded.is_empty() || self.lossy_links > 0
+    }
+}
+
 /// Facts about the run the invariant stack needs to decide which checks
 /// apply.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RunContext {
     /// Whether the run drained within its simulated-time budget.
     pub finished: bool,
-    /// Whether a node-dooming fault fired while traffic that would
-    /// reference the dead home was still flowing (detection is then
-    /// guaranteed and recovery *must* have triggered).
+    /// Whether a node-dooming fault fired. Detection is then guaranteed —
+    /// by live traffic, a fail-fast assertion, or the machine's heartbeat
+    /// audit — so recovery *must* have triggered.
     pub detectable_fault_fired: bool,
     /// Whether the schedule targeted the Hive end-to-end harness.
     pub hive: bool,
+    /// Per-processor operation count a finished machine-mode run implies
+    /// (the fail-slow progress floor); `0` disables the floor.
+    pub required_progress: u64,
+    /// The gray faults that fired.
+    pub gray: GrayFacts,
 }
 
 /// Runs the full invariant stack against the machine's final state.
@@ -66,7 +121,84 @@ pub fn check_all(m: &FcMachine, ctx: &RunContext) -> Vec<Violation> {
     if ctx.hive {
         check_rpc(m, ctx, &mut v);
     }
+    check_gray(m, ctx, &mut v);
     v
+}
+
+/// Gray-failure guarantees. Each sub-check only applies when the fired
+/// fault mix leaves the guarantee unconditional (no doomed nodes, no other
+/// gray class muddying the waters), so a violation is a genuine bug:
+///
+/// * **fail-slow progress floor** — a slow-but-correct node must still
+///   complete its workload in a finished run, and a pure fail-slow run must
+///   not fail to finish;
+/// * **degraded-memory no-wrong-data** — extra latency and transient NAKs
+///   must never surface as incoherent or corrupted lines;
+/// * **lossy-link liveness** — dropped packets must end in eventual
+///   completion (timeout/NAK retry delivers) or eventual detection.
+fn check_gray(m: &FcMachine, ctx: &RunContext, out: &mut Vec<Violation>) {
+    let g = &ctx.gray;
+    if !g.any() {
+        return;
+    }
+    let st = m.st();
+    let report = &m.ext().report;
+    let halted = report.machine_halted;
+    let pure = !g.doomed_any && g.lossy_links == 0 && !g.link_faults;
+
+    if !g.fail_slow.is_empty() {
+        if ctx.finished && !halted && ctx.required_progress > 0 {
+            for &n in &g.fail_slow {
+                let node = &st.nodes[n.index()];
+                if st.failed_nodes.contains(n) || !node.is_alive() {
+                    continue;
+                }
+                let progress = node.workload.progress();
+                if progress < ctx.required_progress {
+                    out.push(Violation::new(
+                        "failslow-progress-floor",
+                        format!(
+                            "fail-slow node {:?} finished at {progress}/{} ops",
+                            n, ctx.required_progress
+                        ),
+                    ));
+                }
+            }
+        }
+        if pure
+            && g.degraded.is_empty()
+            && !ctx.finished
+            && !halted
+            && report.phases.triggered_at.is_none()
+        {
+            out.push(Violation::new(
+                "failslow-progress-floor",
+                "a pure fail-slow run neither finished nor triggered recovery".to_string(),
+            ));
+        }
+    }
+
+    if !g.degraded.is_empty() && pure && ctx.finished && !halted {
+        let v = st.validate();
+        if v.marked_incoherent > 0 || !v.corrupted.is_empty() {
+            out.push(Violation::new(
+                "degraded-no-wrong-data",
+                format!(
+                    "degraded memory surfaced as wrong data: {} incoherent, {} corrupted",
+                    v.marked_incoherent,
+                    v.corrupted.len()
+                ),
+            ));
+        }
+    }
+
+    if g.lossy_links > 0 && !ctx.finished && !halted && report.phases.triggered_at.is_none() {
+        out.push(Violation::new(
+            "lossy-liveness",
+            "lossy link dropped packets and the run neither completed nor detected anything"
+                .to_string(),
+        ));
+    }
 }
 
 /// Oracle-bounded incoherence and no silent corruption (the Table 5.3

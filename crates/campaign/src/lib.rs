@@ -55,9 +55,9 @@ mod runner;
 mod schedule;
 mod triage;
 
-pub use invariants::{check_all, RunContext, Violation};
+pub use invariants::{check_all, GrayFacts, RunContext, Violation};
 pub use runner::{
-    per_run_seed, run_campaign, run_schedule, CampaignConfig, CampaignReport, RunRecord,
+    per_run_seed, run_campaign, run_schedule, CampaignConfig, CampaignReport, RunRecord, Verdict,
 };
 pub use schedule::{generate, json_escape, FaultEvent, GeneratorConfig, InjectAt, Mode, Schedule};
 pub use triage::{campaign_dir, post_mortem_json, shrink, triage, TriageReport};
@@ -274,6 +274,124 @@ mod tests {
             traces(&seq),
             traces(&par),
             "merged traces must be identical across 1 and 8 workers"
+        );
+    }
+
+    #[test]
+    fn fail_slow_run_survives_degraded_with_full_progress() {
+        let s = tiny_schedule(
+            19,
+            true,
+            vec![FaultEvent {
+                at: InjectAt::Steady { offset_ns: 100 },
+                fault: FaultSpec::FailSlow(NodeId(3), 6),
+            }],
+        );
+        let r = run_schedule(&s);
+        assert!(r.finished, "a fail-slow machine must still drain");
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert_eq!(
+            r.verdict,
+            Verdict::SurvivedDegraded,
+            "fail-slow alone is legitimately undetected"
+        );
+        assert_eq!(r.detect_latency_ns, None);
+    }
+
+    #[test]
+    fn degraded_memory_and_lossy_link_pass_the_stack() {
+        use flash_net::RouterId;
+        let s = tiny_schedule(
+            23,
+            true,
+            vec![
+                FaultEvent {
+                    at: InjectAt::Steady { offset_ns: 50 },
+                    fault: FaultSpec::DegradedMemory(NodeId(2), 40, 900),
+                },
+                FaultEvent {
+                    at: InjectAt::Steady { offset_ns: 2_000 },
+                    fault: FaultSpec::LossyLink(RouterId(0), RouterId(1), 50_000),
+                },
+            ],
+        );
+        let r = run_schedule(&s);
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert!(
+            matches!(
+                r.verdict,
+                Verdict::SurvivedDegraded | Verdict::DetectedRecovered
+            ),
+            "gray-only run must not be classified as contained: {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn pool_failure_is_contained_like_a_multi_node_fault() {
+        let s = tiny_schedule(
+            27,
+            true,
+            vec![FaultEvent {
+                at: InjectAt::Steady { offset_ns: 100 },
+                fault: FaultSpec::PoolFailure {
+                    pool: vec![NodeId(2), NodeId(3)],
+                },
+            }],
+        );
+        let r = run_schedule(&s);
+        assert!(r.passed(), "violations: {:?}", r.violations);
+        assert_eq!(r.verdict, Verdict::Contained, "a pool failure dooms nodes");
+        assert!(
+            r.detect_latency_ns.is_some(),
+            "contained runs must report a detection latency"
+        );
+    }
+
+    #[test]
+    fn gray_campaign_is_identical_across_1_and_8_workers() {
+        // The acceptance gate of the gray-failure extension: with gray
+        // faults in the schedule mix, campaign outcomes (including the new
+        // verdict and detection-latency fields, and the merged trace
+        // hashes) stay bit-identical whatever the worker count.
+        let base = CampaignConfig {
+            master_seed: 31,
+            runs: 8,
+            workers: 1,
+            generator: GeneratorConfig {
+                min_nodes: 8,
+                max_nodes: 10,
+                max_events: 2,
+                gray_chance: 0.6,
+                ..GeneratorConfig::default()
+            },
+        };
+        let seq = run_campaign(&base);
+        let par = run_campaign(&CampaignConfig { workers: 8, ..base });
+        let key = |r: &CampaignReport| -> Vec<(u64, &'static str, Option<u64>, u64, bool)> {
+            r.records
+                .iter()
+                .map(|rec| {
+                    (
+                        rec.schedule.seed,
+                        rec.verdict.kind_str(),
+                        rec.detect_latency_ns,
+                        rec.trace_hash,
+                        rec.passed(),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(key(&seq), key(&par));
+        assert_eq!(seq.total_violations(), 0, "failures: {:?}", {
+            let v: Vec<_> = seq.failures().map(|f| &f.violations).collect();
+            v
+        });
+        assert!(
+            seq.records
+                .iter()
+                .any(|r| r.verdict != Verdict::Contained || r.detect_latency_ns.is_some()),
+            "the mix must exercise the three-way oracle"
         );
     }
 

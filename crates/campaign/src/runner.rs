@@ -11,7 +11,7 @@
 //! per-run seeds, so a campaign's outcome is independent of worker count
 //! and every failure is replayable from its seed alone.
 
-use crate::invariants::{self, RunContext, Violation};
+use crate::invariants::{self, GrayFacts, RunContext, Violation};
 use crate::schedule::{generate, FaultEvent, GeneratorConfig, InjectAt, Mode, Schedule};
 use flash_coherence::{LineAddr, NodeSet};
 use flash_core::{build_machine, FcMachine, RecoveryConfig};
@@ -21,6 +21,32 @@ use flash_net::NodeId;
 use flash_sim::{DetRng, RunOutcome, SimDuration, SimTime};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// The three-way containment verdict of one run (the revised oracle: a
+/// fail-slow fault may legitimately go undetected, so "no recovery ran" is
+/// only a failure when a fail-stop fault fired).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// A node-dooming (fail-stop) fault fired; recovery contained it.
+    Contained,
+    /// Nothing was doomed, but detection hardware noticed the fault (NAK
+    /// overflow, timeout, false alarm) and recovery ran to completion.
+    DetectedRecovered,
+    /// No detection fired and the machine survived, possibly degraded —
+    /// the legitimate quiet outcome of a gray fault.
+    SurvivedDegraded,
+}
+
+impl Verdict {
+    /// Stable string tag (result sheets, JSON).
+    pub fn kind_str(&self) -> &'static str {
+        match self {
+            Verdict::Contained => "contained",
+            Verdict::DetectedRecovered => "detected_recovered",
+            Verdict::SurvivedDegraded => "survived_degraded",
+        }
+    }
+}
 
 /// The outcome of one schedule execution.
 #[derive(Clone, Debug)]
@@ -39,6 +65,11 @@ pub struct RunRecord {
     pub phase_hits: [u64; 4],
     /// Faults injected during the Hive OS recovery pass.
     pub os_recovery_hits: u64,
+    /// The containment verdict.
+    pub verdict: Verdict,
+    /// Nanoseconds from the first fired fault to the recovery trigger, when
+    /// both happened (in that order).
+    pub detect_latency_ns: Option<u64>,
     /// Rendered machine trace; captured only when violations were found.
     pub trace: String,
     /// FNV-1a hash of the merged trace (always captured; worker-count
@@ -61,14 +92,13 @@ impl RunRecord {
     }
 }
 
-/// Whether the fault (or any member of a multi-fault) is a fail-fast
-/// firmware assertion, which raises the recovery trigger itself.
-fn has_firmware_assertion(f: &FaultSpec) -> bool {
-    match f {
-        FaultSpec::FirmwareAssertion(_) => true,
-        FaultSpec::Multi(list) => list.iter().any(has_firmware_assertion),
-        _ => false,
-    }
+/// Whether a fired fault is guaranteed to be detected. Any node-dooming
+/// fault is: live traffic referencing the dead home times out, fail-fast
+/// assertions self-trigger, and when both of those are quiet the machine's
+/// heartbeat audit raises the trigger within one heartbeat period — so the
+/// oracle never excuses an undetected fail-stop fault.
+fn detectable_fault(f: &FaultSpec) -> bool {
+    !f.doomed_nodes().is_empty()
 }
 
 /// Schedules `fault` and models the dying master's stray write: one store
@@ -95,12 +125,10 @@ fn inject(m: &mut FcMachine, at: SimTime, fault: &FaultSpec, wild_target: NodeId
     }
 }
 
-/// A fault that has been scheduled but whose detectability has not yet been
-/// assessed.
+/// A fault that has been scheduled into the machine.
 struct Armed {
     at: SimTime,
     fault: FaultSpec,
-    evaluated: bool,
 }
 
 /// Executes one schedule and checks the invariant stack.
@@ -111,6 +139,7 @@ pub fn run_schedule(s: &Schedule) -> RunRecord {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     m: &FcMachine,
     s: &Schedule,
@@ -119,11 +148,34 @@ fn finalize(
     phase_hits: [u64; 4],
     os_recovery_hits: u64,
     extra: Vec<Violation>,
+    fired: &[FaultSpec],
+    first_inject: Option<SimTime>,
 ) -> RunRecord {
+    let gray = GrayFacts::from_faults(fired);
+    let triggered_at = m.ext().report.phases.triggered_at;
+    // The revised three-way oracle. Ordering matters: a doomed node means
+    // the run exercised fail-stop containment whatever else fired.
+    let verdict = if gray.doomed_any {
+        Verdict::Contained
+    } else if triggered_at.is_some() {
+        Verdict::DetectedRecovered
+    } else {
+        Verdict::SurvivedDegraded
+    };
+    let detect_latency_ns = match (first_inject, triggered_at) {
+        (Some(i), Some(t)) if t >= i => Some(t.since(i).as_nanos()),
+        _ => None,
+    };
     let ctx = RunContext {
         finished,
         detectable_fault_fired: detectable,
         hive: s.mode == Mode::Hive,
+        required_progress: if s.mode == Mode::Machine {
+            s.total_ops
+        } else {
+            0
+        },
+        gray,
     };
     let mut violations = invariants::check_all(m, &ctx);
     violations.extend(extra);
@@ -147,6 +199,8 @@ fn finalize(
         restarts: m.ext().report.restarts,
         phase_hits,
         os_recovery_hits,
+        verdict,
+        detect_latency_ns,
         trace,
         trace_hash: obs.merged_hash(),
         trace_dropped: obs.dropped_total(),
@@ -158,27 +212,6 @@ fn finalize(
 // ----------------------------------------------------------------------
 // Machine mode (Section 5.2 harness)
 // ----------------------------------------------------------------------
-
-/// Whether a just-fired doomed fault is guaranteed to be detected:
-/// fail-fast assertions self-trigger; faults during active recovery hit
-/// the ping/watchdog machinery; otherwise enough workload traffic must
-/// remain that the dead home is referenced with overwhelming probability.
-fn machine_detectable(m: &FcMachine, fault: &FaultSpec, total_ops: u64) -> bool {
-    if fault.doomed_nodes().is_empty() {
-        return false;
-    }
-    if has_firmware_assertion(fault) || m.ext().recovery_active() {
-        return true;
-    }
-    let st = m.st();
-    let remaining: u64 = st
-        .nodes
-        .iter()
-        .filter(|n| n.is_alive())
-        .map(|n| total_ops.saturating_sub(n.workload.progress()))
-        .sum();
-    remaining >= 16 * st.num_nodes() as u64
-}
 
 fn run_machine_schedule(s: &Schedule) -> RunRecord {
     let mut params = MachineParams::tiny();
@@ -240,15 +273,16 @@ fn run_machine_schedule(s: &Schedule) -> RunRecord {
     let mut armed: Vec<Armed> = Vec::new();
     let mut pending: Vec<(u8, u64, FaultSpec)> = Vec::new();
     let mut phase_hits = [0u64; 4];
+    let mut detectable = false;
     for FaultEvent { at, fault } in &s.events {
         match *at {
             InjectAt::Steady { offset_ns } => {
                 let at = steady_base + SimDuration::from_nanos(1 + offset_ns);
                 inject(&mut m, at, fault, NodeId(0));
+                detectable |= detectable_fault(fault);
                 armed.push(Armed {
                     at,
                     fault: fault.clone(),
-                    evaluated: false,
                 });
             }
             InjectAt::PhaseEntry { phase, delay_ns } => {
@@ -258,10 +292,10 @@ fn run_machine_schedule(s: &Schedule) -> RunRecord {
             InjectAt::DuringOsRecovery => {
                 let at = steady_base + SimDuration::from_micros(600);
                 inject(&mut m, at, fault, NodeId(0));
+                detectable |= detectable_fault(fault);
                 armed.push(Armed {
                     at,
                     fault: fault.clone(),
-                    evaluated: false,
                 });
             }
         }
@@ -269,7 +303,6 @@ fn run_machine_schedule(s: &Schedule) -> RunRecord {
 
     let horizon = m.now() + SimDuration::from_secs(20);
     let mut finished = false;
-    let mut detectable = false;
     loop {
         // Arm any phase-entry faults whose phase has now been entered.
         let entries = m.ext().phase_entries();
@@ -280,23 +313,13 @@ fn run_machine_schedule(s: &Schedule) -> RunRecord {
                 let at = m.now() + SimDuration::from_nanos(1 + delay_ns);
                 phase_hits[phase as usize - 1] += 1;
                 inject(&mut m, at, &fault, NodeId(0));
-                armed.push(Armed {
-                    at,
-                    fault,
-                    evaluated: false,
-                });
+                detectable |= detectable_fault(&fault);
+                armed.push(Armed { at, fault });
             } else {
                 i += 1;
             }
         }
-        // Assess detectability of faults that have fired since last slice.
-        for a in armed.iter_mut().filter(|a| !a.evaluated) {
-            if m.now() >= a.at {
-                a.evaluated = true;
-                detectable |= machine_detectable(&m, &a.fault, s.total_ops);
-            }
-        }
-        if pending.is_empty() && armed.iter().all(|a| a.evaluated) {
+        if pending.is_empty() {
             let out = m.run_until(horizon);
             finished = out == RunOutcome::Drained;
             break;
@@ -310,16 +333,22 @@ fn run_machine_schedule(s: &Schedule) -> RunRecord {
             break;
         }
     }
-    // Faults that fired right before a drain: assess post-hoc (conservative
-    // — only fail-fast assertions still count as guaranteed-detectable).
-    for a in armed.iter_mut().filter(|a| !a.evaluated) {
-        if m.now() >= a.at {
-            a.evaluated = true;
-            detectable |= machine_detectable(&m, &a.fault, s.total_ops);
-        }
-    }
 
-    finalize(&m, s, finished, detectable, phase_hits, 0, Vec::new())
+    // The fired-fault list is the *armed* list: a drained run has fired
+    // every event it queued, while never-armed phase events did not happen.
+    let fired: Vec<FaultSpec> = armed.iter().map(|a| a.fault.clone()).collect();
+    let first_inject = armed.iter().map(|a| a.at).min();
+    finalize(
+        &m,
+        s,
+        finished,
+        detectable,
+        phase_hits,
+        0,
+        Vec::new(),
+        &fired,
+        first_inject,
+    )
 }
 
 // ----------------------------------------------------------------------
@@ -392,19 +421,6 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
         let c = layout.cell_of(victim);
         layout.boot_node(if c == 0 { 1 } else { 0 })
     };
-    let hive_detectable = |m: &FcMachine, fault: &FaultSpec| {
-        let doomed = fault.doomed_nodes();
-        if doomed.is_empty() {
-            return false;
-        }
-        if has_firmware_assertion(fault) || m.ext().recovery_active() {
-            return true;
-        }
-        // The server's monitor loop polls every peer's kernel line and
-        // never halts, so any dead node is referenced — unless the server
-        // itself is among the doomed.
-        !doomed.contains(&server) && m.st().nodes[server.index()].is_alive()
-    };
 
     // Run until one compile passes the injection threshold.
     let inject_threshold = hive.ops_per_task() * 3 / 10;
@@ -426,6 +442,7 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
     let mut pending: Vec<(u8, u64, FaultSpec)> = Vec::new();
     let mut os_events: Vec<FaultSpec> = Vec::new();
     let mut phase_hits = [0u64; 4];
+    let mut detectable = false;
     for FaultEvent { at, fault } in &s.events {
         match *at {
             InjectAt::Steady { offset_ns } => {
@@ -435,10 +452,10 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
                     .first()
                     .map_or(NodeId(0), |&v| wild_target(v));
                 inject(&mut m, at, fault, target);
+                detectable |= detectable_fault(fault);
                 armed.push(Armed {
                     at,
                     fault: fault.clone(),
-                    evaluated: false,
                 });
             }
             InjectAt::PhaseEntry { phase, delay_ns } => {
@@ -451,7 +468,6 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
     // Main loop: drive to terminal compiles + completed recovery, arming
     // phase-entry faults between slices (mirrors `run_parallel_make`).
     let mut finished = false;
-    let mut detectable = false;
     let mut detect_wait = 0u32;
     let budget = 400_000; // x 50us = 20s of simulated time
     for _ in 0..budget {
@@ -467,19 +483,10 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
                     .first()
                     .map_or(NodeId(0), |&v| wild_target(v));
                 inject(&mut m, at, &fault, target);
-                armed.push(Armed {
-                    at,
-                    fault,
-                    evaluated: false,
-                });
+                detectable |= detectable_fault(&fault);
+                armed.push(Armed { at, fault });
             } else {
                 i += 1;
-            }
-        }
-        for a in armed.iter_mut().filter(|a| !a.evaluated) {
-            if m.now() >= a.at {
-                a.evaluated = true;
-                detectable |= hive_detectable(&m, &a.fault);
             }
         }
         let out = m.run_for(SimDuration::from_micros(50));
@@ -487,11 +494,8 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
             let n = &m.st().nodes[c.index()];
             !n.is_alive() || matches!(n.proc, ProcState::Halted | ProcState::Dead)
         });
-        if all_done
-            && !m.ext().recovery_active()
-            && pending.is_empty()
-            && armed.iter().all(|a| a.evaluated)
-        {
+        let all_fired = armed.iter().all(|a| m.now() >= a.at);
+        if all_done && !m.ext().recovery_active() && pending.is_empty() && all_fired {
             let fault_pending = detectable && !m.ext().report.completed();
             if fault_pending && detect_wait < 10_000 {
                 detect_wait += 1;
@@ -518,7 +522,7 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
                 .map_or(NodeId(0), |&v| wild_target(v));
             let at = m.now() + SimDuration::from_nanos(1);
             inject(&mut m, at, fault, target);
-            detectable |= hive_detectable(&m, fault);
+            detectable |= detectable_fault(fault);
             // Let the new fault be detected and recovered before the OS
             // pass resumes (up to ~2 s of simulated time).
             for _ in 0..40_000 {
@@ -570,6 +574,11 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
         }
     }
 
+    let mut fired: Vec<FaultSpec> = armed.iter().map(|a| a.fault.clone()).collect();
+    if os_recovery_hits > 0 {
+        fired.extend(os_events.iter().cloned());
+    }
+    let first_inject = armed.iter().map(|a| a.at).min();
     finalize(
         &m,
         s,
@@ -578,6 +587,8 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
         phase_hits,
         os_recovery_hits,
         extra,
+        &fired,
+        first_inject,
     )
 }
 

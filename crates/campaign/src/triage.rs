@@ -70,6 +70,15 @@ fn advance_candidates(ev: &FaultEvent) -> Vec<FaultEvent> {
             });
         }
     }
+    // Split a pool failure into a single failed node of the pool.
+    if let FaultSpec::PoolFailure { pool } = &ev.fault {
+        for member in pool {
+            out.push(FaultEvent {
+                at: ev.at,
+                fault: FaultSpec::Node(*member),
+            });
+        }
+    }
     out
 }
 

@@ -267,6 +267,57 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_detects_fault_after_workload_drain() {
+        // A fail-stop fault firing after all traffic has drained is invisible
+        // to timeout-based detection; the peers' heartbeat audit must catch
+        // it, run recovery, and leave the oracle checks clean (no silently
+        // lost dirty lines).
+        let cfg = ExperimentConfig::new(flash_machine::MachineParams::tiny(), 7);
+        let mut m = prepare_fault_experiment(&cfg);
+        let out = m.run_until(m.now() + SimDuration::from_secs(20));
+        assert_eq!(out, RunOutcome::Drained, "fault-free run should drain");
+        assert!(m.ext().report.phases.triggered_at.is_none());
+
+        m.schedule_fault(
+            m.now() + SimDuration::from_nanos(1),
+            FaultSpec::Node(NodeId(2)),
+        );
+        let out = m.run_until(m.now() + SimDuration::from_secs(20));
+        assert_eq!(out, RunOutcome::Drained, "post-fault run should drain");
+        assert!(
+            m.st().counters.get("heartbeat_triggers") >= 1,
+            "detection must have come from the heartbeat audit"
+        );
+        assert!(m.ext().report.completed(), "{:?}", m.ext().report);
+        let v = m.st().validate();
+        assert!(v.passed(), "{v:?}");
+    }
+
+    #[test]
+    fn pool_failure_recovery_converges_without_watchdog_restarts() {
+        // Three simultaneous dead nodes leave node 4 (CWN = {0, 5} on the
+        // 4x2 mesh) stabilizing its view one dissemination round after its
+        // partners. Without the final-view echo, the partners terminate
+        // their rounds and node 4 waits forever for a round nobody sends —
+        // the watchdog then restarts the episode into the same deadlock,
+        // livelocking recovery until the run budget expires.
+        let mut params = flash_machine::MachineParams::tiny();
+        params.n_nodes = 8;
+        let cfg = ExperimentConfig::new(params, 1);
+        let m = prepare_fault_experiment(&cfg);
+        let out = finish_fault_experiment(
+            m,
+            FaultSpec::PoolFailure {
+                pool: vec![NodeId(1), NodeId(2), NodeId(3)],
+            },
+        );
+        assert!(out.finished, "recovery must converge: {:?}", out.recovery);
+        assert!(out.recovery.completed(), "{:?}", out.recovery);
+        assert_eq!(out.recovery.restarts, 0, "{:?}", out.recovery);
+        assert!(out.validation.passed(), "{}", out.validation);
+    }
+
+    #[test]
     fn random_fault_avoids_node_zero_victims() {
         let mut rng = DetRng::new(1);
         for _ in 0..50 {

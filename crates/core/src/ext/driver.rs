@@ -255,6 +255,32 @@ impl Extension for RecoveryExt {
                 if inc != my_inc {
                     return;
                 }
+                // A node that already finished its dissemination rounds
+                // echoes its final (stable) view and round bound: a
+                // neighbor with a sparser CWN stabilizes a round later
+                // than we do, and without the echo it would wait forever
+                // for a round we will never send (its watchdog would then
+                // restart the whole episode, deterministically hitting
+                // the same deadlock).
+                let done_dissem = !matches!(
+                    self.nodes[at.index()].phase,
+                    Phase::DropIn | Phase::Explore | Phase::Dissem | Phase::Shut
+                );
+                if done_dissem {
+                    let rec = &self.nodes[at.index()];
+                    let mut echo_route: Vec<RouterId> =
+                        reply_route.iter().rev().skip(1).copied().collect();
+                    echo_route.push(RouterId(at.0));
+                    let echo = RecMsg::Exchange {
+                        inc,
+                        round,
+                        view: rec.view.clone(),
+                        hint: rec.bound,
+                        reply_route: echo_route,
+                    };
+                    st.send_recovery(at, from, reply_route, Lane::Recovery1, echo, sched);
+                    return;
+                }
                 let rec = &mut self.nodes[at.index()];
                 // An exchange partner we did not discover ourselves (cwn
                 // asymmetry): adopt it.
@@ -276,5 +302,16 @@ impl Extension for RecoveryExt {
                 }
             }
         }
+    }
+
+    fn unnoticed_failure(&self, st: &St, node: NodeId) -> bool {
+        // A failure is accounted for once some live node's failure view
+        // marks the victim down — the explore phase's ping timeout records
+        // exactly that, and views persist after recovery completes (they
+        // are only reset when a new episode starts, which re-discovers any
+        // still-dead victim before finishing).
+        !st.nodes
+            .iter()
+            .any(|n| n.is_alive() && self.nodes[n.id.index()].view.node_down.contains(node))
     }
 }

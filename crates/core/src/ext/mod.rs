@@ -295,6 +295,33 @@ impl RecoveryExt {
         self.entries
     }
 
+    /// One human-readable line per node of recovery-internal state
+    /// (phase, incarnation, view, exchange partners): the triage view used
+    /// when a campaign reproduction stalls mid-recovery.
+    pub fn debug_node_states(&self) -> Vec<String> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                format!(
+                    "n{i}: phase={:?} inc={} round={} bound={:?} inbox={:?} down={:?} cwn={:?} pings={:?} bars={:?}",
+                    r.phase,
+                    r.inc,
+                    r.round,
+                    r.bound,
+                    r.inbox.keys().collect::<Vec<_>>(),
+                    r.view.node_down.iter().map(|n| n.0).collect::<Vec<_>>(),
+                    r.cwn,
+                    r.pending_pings.keys().collect::<Vec<_>>(),
+                    r.bars
+                        .iter()
+                        .map(|(id, b)| (format!("{id:?}"), b.self_joined, b.released))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
     fn design(&mut self, st: &St) -> UGraph {
         self.design
             .get_or_insert_with(|| st.fabric.design_graph().clone())

@@ -4,7 +4,7 @@
 //! and 4.6.
 
 use super::{BarState, Phase, RecEv, RecoveryExt, Sched, St, Step};
-use crate::msg::BarrierId;
+use crate::msg::{BarrierId, RecMsg};
 use crate::view::View;
 use flash_coherence::NodeSet;
 use flash_machine::{Ev, FaultSpec};
@@ -17,6 +17,39 @@ impl RecoveryExt {
     // ------------------------------------------------------------------
 
     pub(super) fn enter_p3(&mut self, st: &mut St, node: u16, sched: Sched<'_, '_>) {
+        // Echo stashed future-round exchanges before leaving dissemination:
+        // a partner with a sparser CWN stabilizes a round later than we do,
+        // and its round-(bound+1) exchange may already sit in our inbox.
+        // Dropping it would leave that partner waiting forever for a round
+        // we never run; its watchdog would then restart the whole episode
+        // into the same deterministic deadlock. (Late arrivals after this
+        // point are echoed on receipt — see `on_recovery_msg`.)
+        {
+            let rec = &self.nodes[node as usize];
+            let inc = rec.inc;
+            let last_round = rec.bound.unwrap_or(0);
+            let mut stale: Vec<(u16, u32)> = rec
+                .inbox
+                .keys()
+                .filter(|(_, r)| *r > last_round)
+                .copied()
+                .collect();
+            stale.sort_unstable();
+            for (m, r) in stale {
+                let rec = &self.nodes[node as usize];
+                let fwd = rec.routes.get(&m).cloned().unwrap_or_default();
+                let mut reply_route: Vec<RouterId> = fwd.iter().rev().skip(1).copied().collect();
+                reply_route.push(RouterId(node));
+                let msg = RecMsg::Exchange {
+                    inc,
+                    round: r,
+                    view: rec.view.clone(),
+                    hint: rec.bound,
+                    reply_route,
+                };
+                self.send(st, node, m, msg, Lane::Recovery1, sched);
+            }
+        }
         self.record_phase_edge(st, node, 2, 3, sched.now());
         self.done_p2.insert(node);
         self.mark_phase_progress(st, sched.now());

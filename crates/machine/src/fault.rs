@@ -25,6 +25,26 @@ pub enum FaultSpec {
     /// Recovery triggered by an exceptional overload condition in the
     /// absence of any fault; must complete without data loss.
     FalseAlarm(NodeId),
+    /// Gray failure: the node's MAGIC controller stays up and correct but
+    /// every handler runs `slowdown`× slower (fail-slow). The node is *not*
+    /// doomed; detection by timeout is possible but not guaranteed.
+    FailSlow(NodeId, u32),
+    /// Gray failure: the first `range_pct`% of the node's homed lines are
+    /// served from degraded memory — each access costs `extra_ns` more and
+    /// some requests are answered with transient NAKs. Data is never
+    /// corrupted and the node is not doomed.
+    DegradedMemory(NodeId, u8, u64),
+    /// Gray failure: the link between two adjacent routers stays up but
+    /// drops each crossing packet with probability `drop_ppm` per million
+    /// (drawn from the fabric's deterministic loss RNG).
+    LossyLink(RouterId, RouterId, u32),
+    /// An entire memory-pool unit fails, dooming every compute node in the
+    /// pool at once — the inverted blast radius of disaggregated-memory
+    /// designs.
+    PoolFailure {
+        /// The nodes backed by the failed pool.
+        pool: Vec<NodeId>,
+    },
     /// Several simultaneous faults (e.g. a cabinet power loss).
     Multi(Vec<FaultSpec>),
 }
@@ -40,7 +60,19 @@ impl FaultSpec {
                 vec![*n]
             }
             FaultSpec::Router(r) => vec![NodeId(r.0)],
-            FaultSpec::Link(..) | FaultSpec::FalseAlarm(_) => vec![],
+            // Gray faults degrade a component without removing it from
+            // service: nothing is doomed.
+            FaultSpec::Link(..)
+            | FaultSpec::FalseAlarm(_)
+            | FaultSpec::FailSlow(..)
+            | FaultSpec::DegradedMemory(..)
+            | FaultSpec::LossyLink(..) => vec![],
+            FaultSpec::PoolFailure { pool } => {
+                let mut doomed = pool.clone();
+                doomed.sort_unstable_by_key(|n| n.0);
+                doomed.dedup();
+                doomed
+            }
             FaultSpec::Multi(list) => {
                 let mut doomed: Vec<NodeId> = list.iter().flat_map(|f| f.doomed_nodes()).collect();
                 doomed.sort_unstable_by_key(|n| n.0);
@@ -61,7 +93,60 @@ impl FaultSpec {
             FaultSpec::InfiniteLoop(_) => "infinite_loop",
             FaultSpec::FirmwareAssertion(_) => "firmware_assertion",
             FaultSpec::FalseAlarm(_) => "false_alarm",
+            FaultSpec::FailSlow(..) => "fail_slow",
+            FaultSpec::DegradedMemory(..) => "degraded_memory",
+            FaultSpec::LossyLink(..) => "lossy_link",
+            FaultSpec::PoolFailure { .. } => "pool_failure",
             FaultSpec::Multi(_) => "multi",
+        }
+    }
+
+    /// Renders the fault as a JSON object (hand-rolled; no serde in the
+    /// workspace). The `kind` field always equals [`FaultSpec::kind_str`];
+    /// both matches are wildcard-free so a new variant cannot silently miss
+    /// one of the two encodings.
+    pub fn to_json(&self) -> String {
+        match self {
+            FaultSpec::Node(n) => format!("{{\"kind\":\"node\",\"node\":{}}}", n.0),
+            FaultSpec::Router(r) => format!("{{\"kind\":\"router\",\"router\":{}}}", r.0),
+            FaultSpec::Link(a, b) => {
+                format!("{{\"kind\":\"link\",\"a\":{},\"b\":{}}}", a.0, b.0)
+            }
+            FaultSpec::InfiniteLoop(n) => {
+                format!("{{\"kind\":\"infinite_loop\",\"node\":{}}}", n.0)
+            }
+            FaultSpec::FirmwareAssertion(n) => {
+                format!("{{\"kind\":\"firmware_assertion\",\"node\":{}}}", n.0)
+            }
+            FaultSpec::FalseAlarm(n) => {
+                format!("{{\"kind\":\"false_alarm\",\"node\":{}}}", n.0)
+            }
+            FaultSpec::FailSlow(n, slowdown) => {
+                format!(
+                    "{{\"kind\":\"fail_slow\",\"node\":{},\"slowdown\":{slowdown}}}",
+                    n.0
+                )
+            }
+            FaultSpec::DegradedMemory(n, range_pct, extra_ns) => format!(
+                "{{\"kind\":\"degraded_memory\",\"node\":{},\"range_pct\":{range_pct},\
+                 \"extra_ns\":{extra_ns}}}",
+                n.0
+            ),
+            FaultSpec::LossyLink(a, b, drop_ppm) => format!(
+                "{{\"kind\":\"lossy_link\",\"a\":{},\"b\":{},\"drop_ppm\":{drop_ppm}}}",
+                a.0, b.0
+            ),
+            FaultSpec::PoolFailure { pool } => {
+                let members: Vec<String> = pool.iter().map(|n| n.0.to_string()).collect();
+                format!(
+                    "{{\"kind\":\"pool_failure\",\"pool\":[{}]}}",
+                    members.join(",")
+                )
+            }
+            FaultSpec::Multi(list) => {
+                let members: Vec<String> = list.iter().map(|f| f.to_json()).collect();
+                format!("{{\"kind\":\"multi\",\"members\":[{}]}}", members.join(","))
+            }
         }
     }
 
@@ -72,9 +157,12 @@ impl FaultSpec {
             FaultSpec::Node(n)
             | FaultSpec::InfiniteLoop(n)
             | FaultSpec::FirmwareAssertion(n)
-            | FaultSpec::FalseAlarm(n) => n.0,
+            | FaultSpec::FalseAlarm(n)
+            | FaultSpec::FailSlow(n, _)
+            | FaultSpec::DegradedMemory(n, _, _) => n.0,
             FaultSpec::Router(r) => r.0,
-            FaultSpec::Link(a, _) => a.0,
+            FaultSpec::Link(a, _) | FaultSpec::LossyLink(a, _, _) => a.0,
+            FaultSpec::PoolFailure { pool } => pool.first().map(|n| n.0).unwrap_or(0),
             FaultSpec::Multi(list) => list.first().map(|f| f.primary_node()).unwrap_or(0),
         }
     }
@@ -176,6 +264,75 @@ mod tests {
             FaultSpec::Multi(vec![FaultSpec::Router(RouterId(4))]),
         ]);
         assert_eq!(nested.doomed_nodes(), vec![NodeId(4)]);
+    }
+
+    /// One value of every `FaultSpec` variant; extend when adding a variant
+    /// (the wildcard-free matches in `kind_str`/`to_json` will already have
+    /// forced the encodings).
+    fn one_of_each() -> Vec<FaultSpec> {
+        vec![
+            FaultSpec::Node(NodeId(1)),
+            FaultSpec::Router(RouterId(2)),
+            FaultSpec::Link(RouterId(0), RouterId(1)),
+            FaultSpec::InfiniteLoop(NodeId(3)),
+            FaultSpec::FirmwareAssertion(NodeId(4)),
+            FaultSpec::FalseAlarm(NodeId(5)),
+            FaultSpec::FailSlow(NodeId(6), 4),
+            FaultSpec::DegradedMemory(NodeId(7), 25, 900),
+            FaultSpec::LossyLink(RouterId(1), RouterId(2), 50_000),
+            FaultSpec::PoolFailure {
+                pool: vec![NodeId(2), NodeId(3)],
+            },
+            FaultSpec::Multi(vec![FaultSpec::Node(NodeId(1))]),
+        ]
+    }
+
+    #[test]
+    fn to_json_covers_every_variant_and_matches_kind_str() {
+        let mut kinds = std::collections::BTreeSet::new();
+        for f in one_of_each() {
+            let json = f.to_json();
+            assert!(
+                json.contains(&format!("\"kind\":\"{}\"", f.kind_str())),
+                "{json}"
+            );
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            kinds.insert(f.kind_str());
+        }
+        assert_eq!(kinds.len(), 11, "kind labels must be distinct");
+    }
+
+    #[test]
+    fn gray_faults_doom_nobody_but_pool_failure_dooms_the_pool() {
+        assert!(FaultSpec::FailSlow(NodeId(3), 8).doomed_nodes().is_empty());
+        assert!(FaultSpec::DegradedMemory(NodeId(2), 50, 500)
+            .doomed_nodes()
+            .is_empty());
+        assert!(FaultSpec::LossyLink(RouterId(0), RouterId(1), 10_000)
+            .doomed_nodes()
+            .is_empty());
+        let pool = FaultSpec::PoolFailure {
+            pool: vec![NodeId(4), NodeId(2), NodeId(4), NodeId(3)],
+        };
+        assert_eq!(
+            pool.doomed_nodes(),
+            vec![NodeId(2), NodeId(3), NodeId(4)],
+            "pool members sorted and deduped"
+        );
+        // Nested under Multi: gray members contribute nothing, pools their
+        // whole membership.
+        let multi = FaultSpec::Multi(vec![
+            FaultSpec::FailSlow(NodeId(1), 2),
+            FaultSpec::Multi(vec![
+                FaultSpec::LossyLink(RouterId(0), RouterId(1), 1_000),
+                FaultSpec::PoolFailure {
+                    pool: vec![NodeId(5), NodeId(6)],
+                },
+            ]),
+            FaultSpec::Node(NodeId(5)),
+        ]);
+        assert_eq!(multi.doomed_nodes(), vec![NodeId(5), NodeId(6)]);
+        assert!(!multi.is_false_alarm());
     }
 
     #[test]

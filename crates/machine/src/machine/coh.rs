@@ -94,6 +94,37 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
         {
             match mode {
                 MagicMode::Normal => {
+                    // Degraded-memory gray fault: accesses into the bad
+                    // range cost extra service time, and every fourth one
+                    // draws a transient NAK. Only requests are refused —
+                    // writebacks and acks always land (refusing a Put would
+                    // lose the sole copy of the data).
+                    let lpn = st.layout.lines_per_node();
+                    let mut degraded_extra = None;
+                    if let Some(d) = st.nodes[n as usize].degraded.as_mut() {
+                        if line.0 % lpn < d.lines {
+                            d.accesses += 1;
+                            degraded_extra = Some((d.extra_ns, d.accesses.is_multiple_of(4)));
+                        }
+                    }
+                    if let Some((extra, nak_turn)) = degraded_extra {
+                        st.nodes[n as usize]
+                            .occupancy
+                            .occupy(now, SimDuration::from_nanos(extra));
+                        st.counters.incr("degraded_accesses");
+                        if nak_turn
+                            && matches!(
+                                msg,
+                                CohMsg::Get { .. }
+                                    | CohMsg::GetX { .. }
+                                    | CohMsg::UpgradeReq { .. }
+                            )
+                        {
+                            st.counters.incr("degraded_naks");
+                            st.send_coh(NodeId(n), from, CohMsg::Nak { line }, sched);
+                            return;
+                        }
+                    }
                     // Firewall: exclusive fetches need write permission for
                     // the page (adds the ACL-check cost to the handler).
                     if matches!(msg, CohMsg::GetX { .. } | CohMsg::UpgradeReq { .. }) {

@@ -5,7 +5,7 @@
 use super::world::MachineWorld;
 use super::{Ev, Extension, MachineState};
 use crate::fault::FaultSpec;
-use crate::node::ProcState;
+use crate::node::{DegradedRange, ProcState};
 use flash_coherence::LineAddr;
 use flash_magic::{MagicMode, Trigger};
 use flash_net::NodeId;
@@ -33,20 +33,11 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         }
         match spec {
             FaultSpec::Node(n) => {
-                self.failed_nodes.insert(*n);
-                let node = &mut self.nodes[n.index()];
-                node.mode = MagicMode::Dead;
-                node.proc = ProcState::Dead;
-                self.fabric.set_node_sink(*n, true);
+                self.kill_node(*n);
             }
             FaultSpec::Router(r) => {
                 self.fabric.fail_router(*r, now);
-                let nid = NodeId(r.0);
-                self.failed_nodes.insert(nid);
-                let node = &mut self.nodes[nid.index()];
-                node.mode = MagicMode::Dead;
-                node.proc = ProcState::Dead;
-                self.fabric.set_node_sink(nid, true);
+                self.kill_node(NodeId(r.0));
             }
             FaultSpec::Link(a, b) => {
                 let ok = self.fabric.fail_link_between(*a, *b, now);
@@ -63,12 +54,50 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                 // fail-fast controller has raised its own trigger.
             }
             FaultSpec::FalseAlarm(_) => {}
+            FaultSpec::FailSlow(n, factor) => {
+                // Gray fault: the node stays alive and coherent, but every
+                // MAGIC service it performs takes `factor`× as long. Factor
+                // below 2 would be indistinguishable from nominal jitter.
+                self.nodes[n.index()]
+                    .occupancy
+                    .set_slowdown((*factor).max(2));
+            }
+            FaultSpec::DegradedMemory(n, pct, extra_ns) => {
+                let lpn = self.layout.lines_per_node();
+                let lines = (lpn * u64::from((*pct).min(100))).div_ceil(100).max(1);
+                self.nodes[n.index()].degraded = Some(DegradedRange {
+                    lines,
+                    extra_ns: *extra_ns,
+                    accesses: 0,
+                });
+            }
+            FaultSpec::LossyLink(a, b, ppm) => {
+                let ok = self.fabric.set_link_loss_between(*a, *b, *ppm);
+                assert!(ok, "lossy-link fault on non-adjacent routers");
+            }
+            FaultSpec::PoolFailure { pool } => {
+                // One failed memory pool dooms every compute node attached
+                // to it — the inverted blast radius of disaggregated memory.
+                for n in pool {
+                    self.kill_node(*n);
+                }
+            }
             FaultSpec::Multi(list) => {
                 for f in list {
                     self.apply_fault(f, now);
                 }
             }
         }
+    }
+
+    /// Fail-stop one node: ground-truth bookkeeping, MAGIC + processor dead,
+    /// and the fabric swallows traffic addressed to it.
+    fn kill_node(&mut self, n: NodeId) {
+        self.failed_nodes.insert(n);
+        let node = &mut self.nodes[n.index()];
+        node.mode = MagicMode::Dead;
+        node.proc = ProcState::Dead;
+        self.fabric.set_node_sink(n, true);
     }
 }
 
@@ -115,6 +144,16 @@ impl<X: Extension> FaultHandlers<X> for MachineWorld<X> {
                 }
                 _ => {}
             }
+        }
+        // A node-dooming fault arms a heartbeat audit: even when no
+        // outstanding memory operation will ever reference the victims
+        // (workload drained, or every trigger was swallowed by a dead
+        // controller), the peers' periodic MAGIC-to-MAGIC pings notice the
+        // failure within one heartbeat period (Section 4.2).
+        let victims: Vec<u16> = spec.doomed_nodes().iter().map(|n| n.0).collect();
+        if !victims.is_empty() {
+            let period = SimDuration::from_nanos(self.st.params.magic.heartbeat_timeout_ns.max(1));
+            sched.after(period, Ev::Heartbeat { victims });
         }
     }
 }

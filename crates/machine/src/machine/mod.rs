@@ -85,6 +85,14 @@ pub enum Ev<E> {
     },
     /// Inject a fault.
     Fault(FaultSpec),
+    /// Heartbeat audit, armed one heartbeat period after a fault dooms
+    /// nodes: if any victim's failure is still unnoticed by the extension,
+    /// a surviving controller raises [`Trigger::HeartbeatTimeout`] and the
+    /// audit re-arms for the next period.
+    Heartbeat {
+        /// The doomed nodes the audit watches.
+        victims: Vec<u16>,
+    },
     /// Route a hardware trigger to the extension on the next dispatch.
     TriggerNow {
         /// Node the trigger fired on.
@@ -130,6 +138,16 @@ pub trait Extension: std::fmt::Debug + Sized {
         msg: Self::Msg,
         sched: &mut Scheduler<'_, Ev<Self::Ev>>,
     );
+
+    /// Whether `node`'s failure has gone unnoticed: no live node's failure
+    /// view accounts for it yet. The heartbeat audit keeps raising
+    /// [`Trigger::HeartbeatTimeout`] while this holds, modeling the paper's
+    /// periodic MAGIC-to-MAGIC pings. The default (`false`) opts extensions
+    /// that do not track peer liveness out of heartbeat detection entirely.
+    fn unnoticed_failure(&self, st: &MachineState<Self::Msg>, node: NodeId) -> bool {
+        let _ = (st, node);
+        false
+    }
 }
 
 /// An extension that ignores all triggers; useful for fault-free tests and
@@ -200,7 +218,7 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         seed: u64,
     ) -> Self {
         let layout = params.layout();
-        let fabric = match params.topology {
+        let mut fabric = match params.topology {
             TopologyKind::Mesh2D => {
                 let topo = Mesh2D::roughly_square(params.n_nodes);
                 assert_eq!(
@@ -233,6 +251,9 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                 )
             })
             .collect();
+        // Forked *after* the per-node streams so existing node RNG
+        // sequences are unchanged by the lossy-link feature.
+        fabric.seed_loss_rng(root_rng.fork(0x1055));
         MachineState {
             params,
             layout,

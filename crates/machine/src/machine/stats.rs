@@ -62,7 +62,24 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                             .copied()
                             .unwrap_or(node.dir.mem_version(line));
                         if effective != self.oracle.expected_version(line) {
-                            report.corrupted.push(line);
+                            // A stale line whose sole copy is in the drop
+                            // log is detectably lost, not silent: the home
+                            // never serves memory while the directory still
+                            // names an owner, so the next access NAKs into
+                            // recovery and the line gets marked incoherent.
+                            // Only directory states that refuse to serve
+                            // memory directly qualify — a stale line the
+                            // home believes clean is silent corruption
+                            // regardless of what the drop log says.
+                            let guarded = matches!(
+                                state,
+                                DirState::Exclusive(_) | DirState::PendingRecall { .. }
+                            );
+                            if guarded && lost_in_transit.contains(&line) {
+                                report.lost_in_transit.push(line);
+                            } else {
+                                report.corrupted.push(line);
+                            }
                         }
                     }
                 }

@@ -139,6 +139,38 @@ impl<X: Extension> World for MachineWorld<X> {
             }
             Ev::Pump { node, lane } => self.pump(node, lane, sched),
             Ev::Fault(spec) => self.handle_fault(spec, sched),
+            Ev::Heartbeat { victims } => {
+                // A victim whose failure every live node's view still misses
+                // has gone undetected: a surviving controller's missed-
+                // heartbeat counter raises the trigger. The audit re-arms
+                // until the extension accounts for every victim (a mid-
+                // recovery trigger is absorbed; the next period re-checks).
+                let unnoticed = victims.iter().any(|&v| {
+                    self.st.failed_nodes.contains(NodeId(v))
+                        && self.ext.unnoticed_failure(&self.st, NodeId(v))
+                });
+                if !unnoticed {
+                    return;
+                }
+                let Some(observer) = self.st.nodes.iter().find(|n| n.is_alive()).map(|n| n.id)
+                else {
+                    return;
+                };
+                let trig = Trigger::HeartbeatTimeout;
+                self.st.counters.incr("heartbeat_triggers");
+                self.st.obs.record(
+                    Domain::Machine,
+                    sched.now(),
+                    TraceEvent::TriggerFired {
+                        node: observer.0,
+                        trigger: trig.kind_str(),
+                    },
+                );
+                self.ext.on_trigger(&mut self.st, observer, trig, sched);
+                let period =
+                    SimDuration::from_nanos(self.st.params.magic.heartbeat_timeout_ns.max(1));
+                sched.after(period, Ev::Heartbeat { victims });
+            }
             Ev::TriggerNow { node, trig } => {
                 if self.st.nodes[node as usize].is_alive() {
                     self.st.obs.record(

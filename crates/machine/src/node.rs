@@ -125,6 +125,9 @@ pub struct NodeCtx<R> {
     pub uncached: UncachedUnit,
     /// Protocol-processor occupancy.
     pub occupancy: Occupancy,
+    /// Degraded home-memory range, when a `DegradedMemory` gray fault is
+    /// armed on this node.
+    pub degraded: Option<DegradedRange>,
     /// Controller operating mode.
     pub mode: MagicMode,
     /// Processor state.
@@ -167,6 +170,21 @@ pub struct NodeCtx<R> {
     pub lat_uncached: flash_sim::LatencyHistogram,
 }
 
+/// Gray-failure state of a `DegradedMemory` fault: the first `lines` lines
+/// of the node's homed region are served from degraded DRAM — every access
+/// costs `extra_ns` more MAGIC occupancy and every fourth request is
+/// answered with a transient NAK (reads and ownership requests only, so no
+/// writeback data is ever refused).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradedRange {
+    /// Number of degraded lines at the start of the home region.
+    pub lines: u64,
+    /// Extra service latency charged per degraded access, ns.
+    pub extra_ns: u64,
+    /// Deterministic access counter driving the periodic NAKs.
+    pub accesses: u64,
+}
+
 /// A buffered remote intervention (see [`NodeCtx::pending_remote`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PendingRemote {
@@ -201,6 +219,7 @@ impl<R> NodeCtx<R> {
             naks: NakCounter::default(),
             uncached: UncachedUnit::new(),
             occupancy: Occupancy::new(),
+            degraded: None,
             mode: MagicMode::Normal,
             proc: ProcState::Ready,
             current_op: None,

@@ -93,6 +93,13 @@ pub struct ValidationReport {
     /// Accessible, unmarked lines holding a stale or wrong version
     /// (silent data corruption — the worst failure).
     pub corrupted: Vec<LineAddr>,
+    /// Stale lines whose sole valid copy is sitting in the fabric's
+    /// dropped-packet log and whose directory entry still names the
+    /// (former) owner. Not silent corruption: the home never serves
+    /// memory while the line looks exclusive, so the next access NAKs
+    /// into recovery and the line is then marked incoherent. Runs ending
+    /// before any such access land here instead of `corrupted`.
+    pub lost_in_transit: Vec<LineAddr>,
     /// Lines checked in total.
     pub lines_checked: u64,
     /// Lines found marked incoherent.
@@ -112,12 +119,13 @@ impl std::fmt::Display for ValidationReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "checked={} marked_incoherent={} inaccessible={} overmarked={} corrupted={} => {}",
+            "checked={} marked_incoherent={} inaccessible={} overmarked={} corrupted={} lost_in_transit={} => {}",
             self.lines_checked,
             self.marked_incoherent,
             self.inaccessible,
             self.overmarked.len(),
             self.corrupted.len(),
+            self.lost_in_transit.len(),
             if self.passed() { "PASS" } else { "FAIL" }
         )
     }

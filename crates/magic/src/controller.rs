@@ -79,6 +79,13 @@ pub struct MagicParams {
     pub mem_op_timeout_ns: u64,
     /// Delay before a NAK'd request is retried.
     pub nak_retry_ns: u64,
+    /// MAGIC-to-MAGIC heartbeat period: a fail-stop failure that no
+    /// outstanding memory operation would ever reference is still noticed
+    /// within one period by a peer controller's missed-heartbeat counter
+    /// (the paper's ping-timeout detection path, Section 4.2). Longer than
+    /// `mem_op_timeout_ns` so traffic-driven detection wins when traffic
+    /// exists.
+    pub heartbeat_timeout_ns: u64,
     /// Whether the firewall is enabled (Table 6.1 ablation).
     pub firewall_enabled: bool,
 }
@@ -90,6 +97,7 @@ impl Default for MagicParams {
             nak_threshold: 4096,
             mem_op_timeout_ns: 100_000,
             nak_retry_ns: 200,
+            heartbeat_timeout_ns: 150_000,
             firewall_enabled: true,
         }
     }
@@ -169,6 +177,10 @@ pub enum Trigger {
     /// Recovery was triggered externally without any fault (the
     /// "false alarm" experiment of Table 5.2).
     FalseAlarm,
+    /// A peer controller missed its periodic heartbeat: the detection path
+    /// for failures that no outstanding memory operation references
+    /// (Section 4.2's ping timeout).
+    HeartbeatTimeout,
 }
 
 impl Trigger {
@@ -181,6 +193,7 @@ impl Trigger {
             Trigger::TruncatedPacket => "truncated_packet",
             Trigger::PingReceived => "ping_received",
             Trigger::FalseAlarm => "false_alarm",
+            Trigger::HeartbeatTimeout => "heartbeat_timeout",
         }
     }
 }
@@ -301,6 +314,9 @@ pub struct Occupancy {
     busy_until: SimTime,
     busy_ns: u64,
     services: u64,
+    // Fail-slow (gray failure) service-time inflation: 0 or 1 = nominal
+    // speed, k > 1 multiplies every handler cost by k.
+    slow_factor: u32,
 }
 
 impl Occupancy {
@@ -315,8 +331,15 @@ impl Occupancy {
     }
 
     /// Occupies the controller for `cost` starting at `max(now, busy_until)`
-    /// and returns the completion time.
+    /// and returns the completion time. Under a fail-slow fault
+    /// ([`Occupancy::set_slowdown`]) the charged cost is inflated by the
+    /// slowdown factor.
     pub fn occupy(&mut self, now: SimTime, cost: SimDuration) -> SimTime {
+        let cost = if self.slow_factor > 1 {
+            SimDuration::from_nanos(cost.as_nanos() * u64::from(self.slow_factor))
+        } else {
+            cost
+        };
         let start = if now > self.busy_until {
             now
         } else {
@@ -342,6 +365,17 @@ impl Occupancy {
     /// Number of handler services charged so far.
     pub fn services(&self) -> u64 {
         self.services
+    }
+
+    /// Arms (or, with `factor <= 1`, clears) the fail-slow service-time
+    /// inflation: every subsequent handler cost is multiplied by `factor`.
+    pub fn set_slowdown(&mut self, factor: u32) {
+        self.slow_factor = factor;
+    }
+
+    /// The effective service-time multiplier (1 = nominal speed).
+    pub fn slowdown(&self) -> u32 {
+        self.slow_factor.max(1)
     }
 }
 
@@ -410,6 +444,22 @@ mod tests {
         // Accumulated occupancy counts busy time, not idle gaps.
         assert_eq!(occ.busy_ns(), 230);
         assert_eq!(occ.services(), 3);
+    }
+
+    #[test]
+    fn fail_slow_inflates_every_service() {
+        let mut occ = Occupancy::new();
+        assert_eq!(occ.slowdown(), 1);
+        occ.occupy(SimTime::from_nanos(0), SimDuration::from_nanos(100));
+        occ.set_slowdown(4);
+        assert_eq!(occ.slowdown(), 4);
+        let done = occ.occupy(SimTime::from_nanos(1_000), SimDuration::from_nanos(100));
+        assert_eq!(done, SimTime::from_nanos(1_400), "cost multiplied by 4");
+        assert_eq!(occ.busy_ns(), 100 + 400);
+        // Clearing restores nominal speed.
+        occ.set_slowdown(0);
+        let done = occ.occupy(SimTime::from_nanos(2_000), SimDuration::from_nanos(100));
+        assert_eq!(done, SimTime::from_nanos(2_100));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::routing::{Hop, RoutingTables};
 use crate::slab::{PacketMeta, PacketSlab};
 use crate::topology::Topology;
 use flash_obs::{Domain, Recorder, TraceEvent};
-use flash_sim::{Counters, SimDuration, SimTime};
+use flash_sim::{Counters, DetRng, SimDuration, SimTime};
 use std::collections::VecDeque;
 
 /// Timing and sizing parameters of the interconnect.
@@ -221,6 +221,12 @@ pub struct Fabric<P> {
     n_nodes: usize,
     adj: Vec<Vec<Nbr>>,
     link_failed: Vec<Option<SimTime>>,
+    // Gray-failure state: per-link drop probability in parts per million
+    // (0 = reliable), and the dedicated deterministic RNG that decides
+    // per-packet drops. The RNG is consulted only when a crossing is over a
+    // lossy link, so fault-free runs draw nothing from it.
+    link_loss_ppm: Vec<u32>,
+    loss_rng: DetRng,
     router_failed: Vec<Option<SimTime>>,
     tables: RoutingTables,
     out_queues: Vec<Vec<[OutQueue<P>; Lane::COUNT]>>,
@@ -269,6 +275,8 @@ impl<P: std::fmt::Debug> Fabric<P> {
             n_nodes,
             adj,
             link_failed: vec![None; links.len()],
+            link_loss_ppm: vec![0; links.len()],
+            loss_rng: DetRng::new(0xF055_11AE),
             router_failed: vec![None; n_routers],
             tables: topo.initial_tables(),
             out_queues,
@@ -427,6 +435,36 @@ impl<P: std::fmt::Debug> Fabric<P> {
             *slot = Some(now);
         }
         true
+    }
+
+    /// Marks the link between two adjacent routers *lossy* (gray failure):
+    /// each packet that crosses it is dropped with probability `drop_ppm`
+    /// per million, decided by the fabric's deterministic loss RNG.
+    /// `drop_ppm == 0` restores reliability. Returns `false` if the routers
+    /// are not adjacent.
+    pub fn set_link_loss_between(&mut self, a: RouterId, b: RouterId, drop_ppm: u32) -> bool {
+        let Some(nbr) = self.adj[a.index()].iter().find(|n| n.router == b) else {
+            return false;
+        };
+        self.link_loss_ppm[nbr.link.index()] = drop_ppm;
+        true
+    }
+
+    /// The armed loss rate (ppm) of the link between two routers; 0 for
+    /// reliable links and non-adjacent pairs.
+    pub fn link_loss_between(&self, a: RouterId, b: RouterId) -> u32 {
+        self.adj[a.index()]
+            .iter()
+            .find(|n| n.router == b)
+            .map(|n| self.link_loss_ppm[n.link.index()])
+            .unwrap_or(0)
+    }
+
+    /// Seeds the deterministic RNG that decides per-packet drops on lossy
+    /// links. The stream is part of checkpoint/fork state (the fabric is
+    /// cloned wholesale), so forked runs replay drops bit-identically.
+    pub fn seed_loss_rng(&mut self, rng: DetRng) {
+        self.loss_rng = rng;
     }
 
     /// Marks a router failed: buffered and arriving packets are sunk.
@@ -782,6 +820,33 @@ impl<P: std::fmt::Debug> Fabric<P> {
             return;
         }
 
+        // Lossy-link gray failure: the crossing is committed, so roll the
+        // loss RNG exactly once per packet actually traversing the link
+        // (injection legs have no router-router link and are never lossy).
+        // Recovery-lane traffic is exempt: the recovery protocol rides the
+        // hardware's acknowledged transfer service (the paper's reliable
+        // dying-gasp discipline), so a lossy link slows recovery down but
+        // cannot make it livelock on lost dissemination rounds.
+        if let Some(l) = link {
+            let lossy_lane = matches!(lane, Lane::Request | Lane::Reply);
+            let ppm = self.link_loss_ppm[l.index()];
+            if lossy_lane && ppm > 0 && self.loss_rng.below(1_000_000) < u64::from(ppm) {
+                let (pkt, more) = {
+                    let q = self.queue(qr, lane);
+                    let pkt = q.q.pop_front().expect("head checked");
+                    q.flits -= pkt.flits;
+                    q.head_since = now;
+                    let more = !q.q.is_empty();
+                    (pkt, more)
+                };
+                self.drop_packet(pkt, "drop_lossy_link", now, obs);
+                if more {
+                    out.push((SimDuration::ZERO, NetEv::TryMove(qr, lane)));
+                }
+                return;
+            }
+        }
+
         // Reserve downstream space and start the transit.
         match target {
             Target::Node(nd) => self.node_in[nd.index()][lane.index()].reserved += head_flits,
@@ -1036,6 +1101,55 @@ mod tests {
         assert!(w.notes.is_empty());
         assert_eq!(w.fabric.counters().get("drop_blackhole_link"), 1);
         assert_eq!(w.fabric.in_flight_coherence(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_probabilistically_and_conserves_packets() {
+        // drop_ppm = 1_000_000: every crossing is dropped.
+        let (mut w, mut engine) = net(2, 1);
+        assert!(w
+            .fabric
+            .set_link_loss_between(RouterId(0), RouterId(1), 1_000_000));
+        assert_eq!(
+            w.fabric.link_loss_between(RouterId(1), RouterId(0)),
+            1_000_000,
+            "loss is a property of the shared link, both directions"
+        );
+        let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, 1);
+        send(&mut w, &mut engine, pkt, NodeId(0));
+        engine.run(&mut w, flash_sim::SimTime::MAX);
+        assert!(w.notes.is_empty());
+        assert_eq!(w.fabric.counters().get("drop_lossy_link"), 1);
+        assert_eq!(w.fabric.in_flight_coherence(), 0);
+        assert!(conservation_ok(&w.fabric));
+
+        // drop_ppm = 0 after clearing: reliable again.
+        assert!(w.fabric.set_link_loss_between(RouterId(0), RouterId(1), 0));
+        let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 9, 2);
+        send(&mut w, &mut engine, pkt, NodeId(0));
+        engine.run(&mut w, flash_sim::SimTime::MAX);
+        assert_eq!(w.notes.len(), 1);
+
+        // Half rate: the seeded stream drops a plausible fraction of 100
+        // packets, deterministically.
+        let (mut w, mut engine) = net(2, 1);
+        w.fabric.seed_loss_rng(DetRng::new(77));
+        assert!(w
+            .fabric
+            .set_link_loss_between(RouterId(0), RouterId(1), 500_000));
+        for i in 0..100 {
+            let pkt = Packet::table_routed(NodeId(0), NodeId(1), Lane::Request, 2, i);
+            send(&mut w, &mut engine, pkt, NodeId(0));
+            engine.run(&mut w, flash_sim::SimTime::MAX);
+            let _ = w.fabric.pop_input(NodeId(1), Lane::Request);
+        }
+        let dropped = w.fabric.counters().get("drop_lossy_link");
+        assert!((25..=75).contains(&dropped), "dropped {dropped} of 100");
+        assert!(conservation_ok(&w.fabric));
+        // Non-adjacent pairs are rejected.
+        assert!(!w
+            .fabric
+            .set_link_loss_between(RouterId(0), RouterId(0), 1_000));
     }
 
     #[test]

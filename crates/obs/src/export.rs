@@ -230,6 +230,25 @@ pub fn phase_timeline(rec: &Recorder) -> String {
     out
 }
 
+/// Renders a [`flash_sim::LatencyHistogram`] as an aligned quantile table —
+/// the detection-latency block of campaign result sheets. Quantiles are the
+/// histogram's power-of-two bucket upper bounds, so the output is exactly
+/// reproducible across hosts.
+pub fn latency_summary(label: &str, h: &flash_sim::LatencyHistogram) -> String {
+    if h.total() == 0 {
+        return format!("{label}: no samples\n");
+    }
+    let mut out = format!("{label}: {} samples\n", h.total());
+    for (name, q) in [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("max", 1.0)] {
+        let _ = writeln!(
+            out,
+            "  {name} <= {} ns",
+            h.quantile_upper_bound(q).as_nanos()
+        );
+    }
+    out
+}
+
 /// Serialises the last `n` merged events as a JSON array — the
 /// flight-recorder tail embedded in campaign post-mortems.
 pub fn tail_json(rec: &Recorder, n: usize) -> String {
@@ -334,6 +353,25 @@ mod tests {
         let table = phase_timeline(&r);
         assert!(table.contains("P1_enter_ns"));
         assert!(table.contains("2000"));
+    }
+
+    #[test]
+    fn latency_summary_reports_bucket_quantiles() {
+        use flash_sim::{LatencyHistogram, SimDuration};
+        let mut h = LatencyHistogram::new();
+        for ns in [100u64, 120, 4_000] {
+            h.record(SimDuration::from_nanos(ns));
+        }
+        let s = latency_summary("detect", &h);
+        assert!(s.starts_with("detect: 3 samples\n"), "{s}");
+        // 100 and 120 land in [64,128) -> upper bound 127; 4000 in
+        // [2048,4096) -> 4095.
+        assert!(s.contains("p50 <= 127 ns"), "{s}");
+        assert!(s.contains("max <= 4095 ns"), "{s}");
+        assert_eq!(
+            latency_summary("empty", &LatencyHistogram::new()),
+            "empty: no samples\n"
+        );
     }
 
     #[test]

@@ -49,7 +49,8 @@ mod recorder;
 
 pub use event::{Domain, TraceEvent};
 pub use export::{
-    chrome_trace_json, json_escape_str, phase_rows, phase_timeline, tail_json, PhaseRow,
+    chrome_trace_json, json_escape_str, latency_summary, phase_rows, phase_timeline, tail_json,
+    PhaseRow,
 };
 pub use metrics::Metrics;
 pub use recorder::{fnv1a, MergedEvent, Recorder, DEFAULT_SHARD_CAPACITY};

@@ -56,6 +56,93 @@ fn forked_run_matches_scratch_for_every_fault_type() {
     }
 }
 
+/// Gray faults (fail-slow, degraded memory, lossy link, pool failure)
+/// preserve the same fork contract as the fail-stop kinds: a run forked
+/// from a warm checkpoint hashes identically to a from-scratch run. The
+/// lossy-link case exercises the seeded per-packet drop RNG across the
+/// checkpoint boundary — the RNG state is part of the fabric snapshot.
+#[test]
+fn forked_run_matches_scratch_for_gray_fault_types() {
+    use flash::machine::FaultSpec;
+    use flash::net::{NodeId, RouterId};
+
+    let cfg = quick_experiment(31);
+    let ckpt = prepare_fault_experiment(&cfg).checkpoint();
+    let grays = [
+        FaultSpec::FailSlow(NodeId(2), 5),
+        FaultSpec::DegradedMemory(NodeId(1), 30, 900),
+        FaultSpec::LossyLink(RouterId(0), RouterId(1), 60_000),
+        FaultSpec::PoolFailure {
+            pool: vec![NodeId(1), NodeId(2)],
+        },
+    ];
+    for fault in grays {
+        let forked = finish_fault_experiment(ckpt.fork(), fault.clone());
+        let scratch = run_fault_experiment(&cfg, fault.clone());
+        assert!(forked.finished && scratch.finished, "{fault:?}");
+        assert_eq!(
+            forked.trace_hash, scratch.trace_hash,
+            "{fault:?}: forked trace diverged from from-scratch"
+        );
+        assert_eq!(forked.end_time, scratch.end_time, "{fault:?}");
+        assert_eq!(
+            forked.validation.passed(),
+            scratch.validation.passed(),
+            "{fault:?}"
+        );
+        let again = finish_fault_experiment(ckpt.fork(), fault.clone());
+        assert_eq!(again.trace_hash, forked.trace_hash, "{fault:?} refork");
+    }
+}
+
+/// A checkpoint taken *while a lossy link is actively dropping packets*
+/// (some drops already consumed from the loss RNG, more to come) forks into
+/// a run bit-identical to the original continued past the same point.
+#[test]
+fn checkpoint_mid_lossy_drops_replays_identically() {
+    use flash::machine::FaultSpec;
+    use flash::net::{NodeId, RouterId};
+    use flash::sim::SimDuration;
+
+    let cfg = quick_experiment(37);
+    let mut m = prepare_fault_experiment(&cfg);
+    let fault = FaultSpec::Multi(vec![
+        FaultSpec::LossyLink(RouterId(0), RouterId(1), 200_000),
+        FaultSpec::FailSlow(NodeId(3), 4),
+    ]);
+    m.schedule_fault(m.now() + SimDuration::from_nanos(1), fault);
+
+    // Run in fine slices until at least one packet has been dropped, so
+    // the checkpoint lands with the loss RNG mid-stream.
+    let mut guard = 0;
+    loop {
+        m.run_for(SimDuration::from_micros(5));
+        if m.st().fabric.counters().get("drop_lossy_link") > 0 {
+            break;
+        }
+        guard += 1;
+        assert!(guard < 2_000_000, "lossy link never dropped a packet");
+    }
+
+    let ckpt = m.checkpoint();
+    let mut fork = ckpt.fork();
+    let budget = m.now() + SimDuration::from_secs(20);
+    m.run_until(budget);
+    fork.run_until(budget);
+
+    assert_eq!(m.now(), fork.now());
+    assert_eq!(
+        m.st().fabric.counters().get("drop_lossy_link"),
+        fork.st().fabric.counters().get("drop_lossy_link"),
+        "fork must replay the same drop sequence"
+    );
+    assert_eq!(
+        m.st().obs.merged_hash(),
+        fork.st().obs.merged_hash(),
+        "mid-drop fork diverged from the original"
+    );
+}
+
 /// End-to-end (Table 5.4 methodology): a parallel-make run forked from a
 /// mid-make warm checkpoint hashes identically to a from-scratch run that
 /// boots its own machine and warms to the same progress point.

@@ -197,6 +197,7 @@ fn nak_overflow_detects_coherence_deadlock() {
     let mut params = tiny();
     params.magic.nak_threshold = 32; // overflow well before the timeout
     params.magic.mem_op_timeout_ns = 10_000_000; // timeout effectively off
+    params.magic.heartbeat_timeout_ns = 10_000_000; // heartbeat audit too
     let mk = move |n: NodeId| -> Box<dyn Workload> {
         match n.0 {
             1 => Box::new(Script::new([ProcOp::Write(line)])),

@@ -248,6 +248,85 @@ fn track_eviction(
     }
 }
 
+/// `FaultSpec::doomed_nodes` over random nested `Multi` values (including
+/// the gray-failure arms) matches a reference recursion: fail-stop victims
+/// and whole pools are doomed, gray faults doom nobody, and the result is
+/// sorted and duplicate-free.
+#[test]
+fn doomed_nodes_matches_reference_over_nested_multis() {
+    use flash::machine::FaultSpec;
+
+    fn random_spec(rng: &mut DetRng, depth: usize) -> FaultSpec {
+        let node = |rng: &mut DetRng| NodeId(rng.below(16) as u16);
+        let router = |rng: &mut DetRng| RouterId(rng.below(16) as u16);
+        let arms = if depth > 0 { 11 } else { 10 };
+        match rng.below(arms) {
+            0 => FaultSpec::Node(node(rng)),
+            1 => FaultSpec::Router(router(rng)),
+            2 => FaultSpec::Link(router(rng), router(rng)),
+            3 => FaultSpec::InfiniteLoop(node(rng)),
+            4 => FaultSpec::FirmwareAssertion(node(rng)),
+            5 => FaultSpec::FalseAlarm(node(rng)),
+            6 => FaultSpec::FailSlow(node(rng), 2 + rng.below(7) as u32),
+            7 => FaultSpec::DegradedMemory(node(rng), rng.below(101) as u8, rng.below(2_000)),
+            8 => FaultSpec::LossyLink(router(rng), router(rng), rng.below(100_000) as u32),
+            9 => FaultSpec::PoolFailure {
+                // Duplicates on purpose: the result must still dedup.
+                pool: (0..1 + rng.index(4)).map(|_| node(rng)).collect(),
+            },
+            _ => FaultSpec::Multi(
+                (0..1 + rng.index(3))
+                    .map(|_| random_spec(rng, depth - 1))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn reference_doomed(f: &FaultSpec, out: &mut Vec<u16>) {
+        match f {
+            FaultSpec::Node(n) | FaultSpec::InfiniteLoop(n) | FaultSpec::FirmwareAssertion(n) => {
+                out.push(n.0)
+            }
+            FaultSpec::Router(r) => out.push(r.0),
+            FaultSpec::PoolFailure { pool } => out.extend(pool.iter().map(|n| n.0)),
+            FaultSpec::Multi(list) => {
+                for m in list {
+                    reference_doomed(m, out);
+                }
+            }
+            FaultSpec::Link(..)
+            | FaultSpec::FalseAlarm(_)
+            | FaultSpec::FailSlow(..)
+            | FaultSpec::DegradedMemory(..)
+            | FaultSpec::LossyLink(..) => {}
+        }
+    }
+
+    fn is_gray_only(f: &FaultSpec) -> bool {
+        match f {
+            FaultSpec::FailSlow(..) | FaultSpec::DegradedMemory(..) | FaultSpec::LossyLink(..) => {
+                true
+            }
+            FaultSpec::Multi(list) => list.iter().all(is_gray_only),
+            _ => false,
+        }
+    }
+
+    for case in 0..256u64 {
+        let mut rng = DetRng::new(0xD00 ^ case);
+        let spec = random_spec(&mut rng, 3);
+        let doomed: Vec<u16> = spec.doomed_nodes().iter().map(|n| n.0).collect();
+        let mut expected = Vec::new();
+        reference_doomed(&spec, &mut expected);
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(doomed, expected, "case {case}: {spec:?}");
+        if is_gray_only(&spec) {
+            assert!(doomed.is_empty(), "case {case}: gray-only {spec:?}");
+        }
+    }
+}
+
 /// Full randomized fault-injection runs validate cleanly (a randomized
 /// micro Table 5.3 over machine shape, seed and fault type).
 #[test]
