@@ -43,6 +43,20 @@ fn gray_campaign(runs: u64, workers: usize) -> CampaignReport {
     })
 }
 
+fn kv_campaign(runs: u64, workers: usize) -> CampaignReport {
+    run_campaign(&CampaignConfig {
+        master_seed: 1,
+        runs,
+        workers,
+        generator: GeneratorConfig {
+            kv_chance: 1.0,
+            gray_chance: 0.45,
+            max_nodes: 8,
+            ..GeneratorConfig::default()
+        },
+    })
+}
+
 fn main() {
     banner(
         "Chaos campaign: randomized multi-fault injection + invariant stack",
@@ -138,6 +152,37 @@ fn main() {
     sheet.push(
         "gray_mix",
         &[runs as f64, gray.total_violations() as f64, gray.host_secs],
+    );
+
+    // Phase 1c: the KV serving mix — every run hosts the replicated
+    // hive-kv workload, so the serving invariants (no replicated data lost
+    // while a replica's cell is live, unaffected chunks keep their SLO)
+    // join the stack while faults strike mid-traffic.
+    let kv = kv_campaign(runs, workers);
+    println!(
+        "{:<34} {:>8} {:>12} {:>10.2}",
+        format!("kv serving mix, {workers} workers"),
+        runs,
+        kv.total_violations(),
+        kv.host_secs
+    );
+    assert_eq!(
+        kv.total_violations(),
+        0,
+        "kv serving campaign must hold every invariant; failing seeds: {:?}",
+        kv.failures().map(|f| f.schedule.seed).collect::<Vec<_>>()
+    );
+    let served: u64 = kv
+        .records
+        .iter()
+        .filter_map(|r| r.kv.as_ref())
+        .map(|s| s.ok)
+        .sum();
+    println!("  {served} requests served successfully through the fault mix");
+    assert!(served > 0, "the kv mix must actually serve traffic");
+    sheet.push(
+        "kv_serving_mix",
+        &[runs as f64, kv.total_violations() as f64, kv.host_secs],
     );
 
     // Phase 2: the seeded bug. Disable the firewall and let the campaign

@@ -24,7 +24,10 @@
 mod results;
 pub mod sweep;
 
-pub use results::{results_dir, ResultSheet, Row};
+pub use results::{
+    mark_fault_classes, results_dir, run_fault_classes, ClassTally, ResultSheet, Row, VerdictSheet,
+    FAULT_CLASSES,
+};
 pub use sweep::{
     fault_rng_seed, run_checkpoint_groups, sweep_fault_experiments, sweep_parallel_make,
     time_fault_sweep, time_parallel_make_sweep, SweepConfig, SweepRun, SweepTiming,

@@ -3,8 +3,16 @@
 //! Every figure/table bench writes its rows as JSON next to its console
 //! output so results can be plotted or diffed across runs. Files land in
 //! `target/bench-results/<bench>.json`.
+//!
+//! Also home to the per-fault-class campaign tally shared by the
+//! `gray_campaign` and `kv_slo` examples: both report campaign outcomes as
+//! one row per fault class, so the class partitioning, verdict counting,
+//! and table rendering live here rather than being copied per example.
 
-use flash_obs::json_escape_str;
+use flash_campaign::{RunRecord, Verdict};
+use flash_machine::FaultSpec;
+use flash_obs::{json_escape_str, latency_summary};
+use flash_sim::{LatencyHistogram, SimDuration};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -120,6 +128,138 @@ impl ResultSheet {
             Ok(()) => println!("[results written to {}]", path.display()),
             Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
         }
+    }
+}
+
+/// The fault classes of the per-class result sheets, in row order. A run
+/// is tallied in every class that appears anywhere in its schedule
+/// (multi-faults included), so each row answers "when this class was
+/// present, what happened?".
+pub const FAULT_CLASSES: [&str; 5] = [
+    "fail_stop",
+    "fail_slow",
+    "degraded_memory",
+    "lossy_link",
+    "pool_failure",
+];
+
+/// Marks which of the [`FAULT_CLASSES`] a fault belongs to (multi-faults
+/// recurse and can mark several).
+pub fn mark_fault_classes(f: &FaultSpec, present: &mut [bool; FAULT_CLASSES.len()]) {
+    match f {
+        FaultSpec::FailSlow(..) => present[1] = true,
+        FaultSpec::DegradedMemory(..) => present[2] = true,
+        FaultSpec::LossyLink(..) => present[3] = true,
+        FaultSpec::PoolFailure { .. } => present[4] = true,
+        FaultSpec::Multi(list) => {
+            for m in list {
+                mark_fault_classes(m, present);
+            }
+        }
+        _ => present[0] = true,
+    }
+}
+
+/// Which [`FAULT_CLASSES`] appear anywhere in a run's schedule.
+pub fn run_fault_classes(r: &RunRecord) -> [bool; FAULT_CLASSES.len()] {
+    let mut present = [false; FAULT_CLASSES.len()];
+    for e in &r.schedule.events {
+        mark_fault_classes(&e.fault, &mut present);
+    }
+    present
+}
+
+/// Verdict, violation, and detection-latency counts for one fault class.
+#[derive(Default)]
+pub struct ClassTally {
+    /// Runs in which the class appeared.
+    pub runs: u64,
+    /// Runs judged [`Verdict::Contained`].
+    pub contained: u64,
+    /// Runs judged [`Verdict::DetectedRecovered`].
+    pub detected: u64,
+    /// Runs judged [`Verdict::SurvivedDegraded`].
+    pub survived: u64,
+    /// Total invariant violations across the class's runs.
+    pub violations: u64,
+    /// Detection latencies of the class's runs that detected their fault.
+    pub detect: LatencyHistogram,
+}
+
+impl ClassTally {
+    /// Folds one run into the tally.
+    pub fn tally(&mut self, r: &RunRecord) {
+        self.runs += 1;
+        match r.verdict {
+            Verdict::Contained => self.contained += 1,
+            Verdict::DetectedRecovered => self.detected += 1,
+            Verdict::SurvivedDegraded => self.survived += 1,
+        }
+        self.violations += r.violations.len() as u64;
+        if let Some(ns) = r.detect_latency_ns {
+            self.detect.record(SimDuration::from_nanos(ns));
+        }
+    }
+}
+
+/// The per-fault-class verdict sheet: one [`ClassTally`] per
+/// [`FAULT_CLASSES`] entry plus an all-runs aggregate.
+#[derive(Default)]
+pub struct VerdictSheet {
+    /// Per-class tallies, matching [`FAULT_CLASSES`] order.
+    pub classes: [ClassTally; FAULT_CLASSES.len()],
+    /// Every run, regardless of class.
+    pub overall: ClassTally,
+}
+
+impl VerdictSheet {
+    /// Creates an empty sheet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one run into the overall tally and into every class present
+    /// in its schedule.
+    pub fn tally(&mut self, r: &RunRecord) {
+        self.overall.tally(r);
+        for (i, p) in run_fault_classes(r).iter().enumerate() {
+            if *p {
+                self.classes[i].tally(r);
+            }
+        }
+    }
+
+    /// Renders the verdict table (header plus one row per fault class).
+    pub fn verdict_table(&self) -> String {
+        let mut out = format!(
+            "{:<16} {:>5} {:>10} {:>19} {:>18} {:>11}\n",
+            "fault class",
+            "runs",
+            "contained",
+            "detected-recovered",
+            "survived-degraded",
+            "violations"
+        );
+        for (name, row) in FAULT_CLASSES.iter().zip(&self.classes) {
+            out.push_str(&format!(
+                "{name:<16} {:>5} {:>10} {:>19} {:>18} {:>11}\n",
+                row.runs, row.contained, row.detected, row.survived, row.violations
+            ));
+        }
+        out
+    }
+
+    /// Renders the detection-latency summaries: the all-runs histogram
+    /// followed by one per fault class.
+    pub fn detection_summary(&self) -> String {
+        let mut out = latency_summary("detection latency (all runs)", &self.overall.detect);
+        for (name, row) in FAULT_CLASSES.iter().zip(&self.classes) {
+            out.push_str(&latency_summary(
+                &format!("detection latency ({name})"),
+                &row.detect,
+            ));
+        }
+        out
     }
 }
 

@@ -396,6 +396,85 @@ mod tests {
     }
 
     #[test]
+    fn kv_campaign_passes_the_stack_and_reports_serving_stats() {
+        // KV serving mode end to end: every schedule hosts the replicated
+        // KV workload, faults strike mid-traffic, and both the generic
+        // invariant stack and the KV serving invariants must hold.
+        let cfg = CampaignConfig {
+            master_seed: 41,
+            runs: 6,
+            workers: 3,
+            generator: GeneratorConfig {
+                min_nodes: 8,
+                max_nodes: 8,
+                max_events: 2,
+                kv_chance: 1.0,
+                gray_chance: 0.4,
+                ..GeneratorConfig::default()
+            },
+        };
+        let report = run_campaign(&cfg);
+        assert_eq!(report.records.len(), 6);
+        assert_eq!(report.total_violations(), 0, "failures: {:?}", {
+            let v: Vec<_> = report.failures().map(|f| &f.violations).collect();
+            v
+        });
+        for rec in &report.records {
+            let kv = rec.kv.as_ref().expect("kv schedules must carry kv stats");
+            assert!(
+                kv.arrivals > 0,
+                "no requests served for {}",
+                rec.schedule.seed
+            );
+            assert!(
+                kv.ok > kv.arrivals / 2,
+                "seed {}: only {}/{} requests succeeded",
+                rec.schedule.seed,
+                kv.ok,
+                kv.arrivals
+            );
+        }
+    }
+
+    #[test]
+    fn kv_campaign_is_identical_across_1_and_8_workers() {
+        let base = CampaignConfig {
+            master_seed: 43,
+            runs: 6,
+            workers: 1,
+            generator: GeneratorConfig {
+                min_nodes: 8,
+                max_nodes: 8,
+                max_events: 2,
+                kv_chance: 1.0,
+                gray_chance: 0.4,
+                ..GeneratorConfig::default()
+            },
+        };
+        let seq = run_campaign(&base);
+        let par = run_campaign(&CampaignConfig { workers: 8, ..base });
+        let key = |r: &CampaignReport| -> Vec<(u64, &'static str, u64, String)> {
+            r.records
+                .iter()
+                .map(|rec| {
+                    let kv = rec.kv.as_ref().expect("kv stats");
+                    (
+                        rec.schedule.seed,
+                        rec.verdict.kind_str(),
+                        rec.trace_hash,
+                        format!("{}/{}/{}/{}", kv.arrivals, kv.ok, kv.errors, kv.unserved),
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(
+            key(&seq),
+            key(&par),
+            "kv campaign must be bit-identical across worker counts"
+        );
+    }
+
+    #[test]
     fn per_run_seeds_are_stable_and_distinct() {
         let seeds: Vec<u64> = (0..100).map(|i| per_run_seed(42, i)).collect();
         let mut uniq = seeds.clone();

@@ -16,6 +16,7 @@ use crate::schedule::{generate, FaultEvent, GeneratorConfig, InjectAt, Mode, Sch
 use flash_coherence::{LineAddr, NodeSet};
 use flash_core::{build_machine, FcMachine, RecoveryConfig};
 use flash_hive::{os, CellLayout, CompileTask, HiveConfig, ServerLoop, TaskState};
+use flash_hivekv::{prepare_kv_serving, KvConfig, KvStats};
 use flash_machine::{FaultSpec, Idle, MachineParams, ProcState, RandomFill};
 use flash_net::NodeId;
 use flash_sim::{DetRng, RunOutcome, SimDuration, SimTime};
@@ -83,6 +84,8 @@ pub struct RunRecord {
     /// Metrics snapshot as a JSON object; captured only when violations
     /// were found.
     pub metrics_json: String,
+    /// User-visible serving statistics (KV mode only).
+    pub kv: Option<KvStats>,
 }
 
 impl RunRecord {
@@ -136,6 +139,7 @@ pub fn run_schedule(s: &Schedule) -> RunRecord {
     match s.mode {
         Mode::Machine => run_machine_schedule(s),
         Mode::Hive => run_hive_schedule(s),
+        Mode::HiveKv => run_kv_schedule(s),
     }
 }
 
@@ -206,6 +210,7 @@ fn finalize(
         trace_dropped: obs.dropped_total(),
         trace_tail_json,
         metrics_json,
+        kv: None,
     }
 }
 
@@ -590,6 +595,194 @@ fn run_hive_schedule(s: &Schedule) -> RunRecord {
         &fired,
         first_inject,
     )
+}
+
+// ----------------------------------------------------------------------
+// KV serving mode (hive-kv harness)
+// ----------------------------------------------------------------------
+
+/// Executes a KV serving schedule: boot cells with replicated KV shards,
+/// warm to the injection threshold, arm the schedule's faults, drive
+/// through recovery and the replication-repair pass, and judge both the
+/// generic invariant stack and the KV serving invariants (no data loss
+/// while a replica survives; unaffected chunks keep their SLO).
+fn run_kv_schedule(s: &Schedule) -> RunRecord {
+    let kv = KvConfig::campaign();
+    let mut params = MachineParams::table_5_1();
+    params.n_nodes = s.n_nodes;
+    params.magic.firewall_enabled = s.firewall_enabled;
+    let layout = CellLayout::contiguous(params.n_nodes, kv.n_cells);
+    let mut prep = prepare_kv_serving(params, &kv, RecoveryConfig::default(), s.seed);
+
+    // Wild writes must land in a cell the victim does not belong to (same
+    // policy as hive mode).
+    let wild_target = |victim: NodeId| {
+        let c = layout.cell_of(victim);
+        layout.boot_node(if c == 0 { 1 } else { 0 })
+    };
+
+    // Warm until any shard passes the injection threshold.
+    let inject_threshold = kv.requests_per_shard * 3 / 10;
+    let mut guard = 0;
+    loop {
+        prep.machine_mut().run_for(SimDuration::from_micros(50));
+        let ready = prep
+            .shard_nodes()
+            .iter()
+            .any(|c| prep.machine().st().nodes[c.index()].workload.progress() >= inject_threshold);
+        if ready || guard > 2_000_000 {
+            break;
+        }
+        guard += 1;
+    }
+
+    // Arm events.
+    let steady_base = prep.machine().now();
+    let mut armed: Vec<Armed> = Vec::new();
+    let mut pending: Vec<(u8, u64, FaultSpec)> = Vec::new();
+    let mut os_events: Vec<FaultSpec> = Vec::new();
+    let mut phase_hits = [0u64; 4];
+    let mut detectable = false;
+    for FaultEvent { at, fault } in &s.events {
+        match *at {
+            InjectAt::Steady { offset_ns } => {
+                let at = steady_base + SimDuration::from_nanos(1 + offset_ns);
+                let target = fault
+                    .doomed_nodes()
+                    .first()
+                    .map_or(NodeId(0), |&v| wild_target(v));
+                inject(prep.machine_mut(), at, fault, target);
+                detectable |= detectable_fault(fault);
+                armed.push(Armed {
+                    at,
+                    fault: fault.clone(),
+                });
+            }
+            InjectAt::PhaseEntry { phase, delay_ns } => {
+                pending.push((phase, delay_ns, fault.clone()));
+            }
+            InjectAt::DuringOsRecovery => os_events.push(fault.clone()),
+        }
+    }
+
+    // Main loop: drive until every shard drains (or dies) and recovery is
+    // idle, arming phase-entry faults between slices and running the
+    // service-level repair pass at every recovery completion.
+    let mut finished = false;
+    let mut detect_wait = 0u32;
+    let mut os_recovery_hits = 0u64;
+    let budget = 400_000; // x 50us = 20s of simulated time
+    for _ in 0..budget {
+        let entries = prep.machine().ext().phase_entries();
+        let mut i = 0;
+        while i < pending.len() {
+            if entries.entered(pending[i].0).is_some() {
+                let (phase, delay_ns, fault) = pending.remove(i);
+                let at = prep.machine().now() + SimDuration::from_nanos(1 + delay_ns);
+                phase_hits[phase as usize - 1] += 1;
+                let target = fault
+                    .doomed_nodes()
+                    .first()
+                    .map_or(NodeId(0), |&v| wild_target(v));
+                inject(prep.machine_mut(), at, &fault, target);
+                detectable |= detectable_fault(&fault);
+                armed.push(Armed { at, fault });
+            } else {
+                i += 1;
+            }
+        }
+        let out = prep.machine_mut().run_for(SimDuration::from_micros(50));
+        // At each recovery completion: OS page service + replica repair.
+        // Faults armed "during OS recovery" fire in exactly that window.
+        if prep.post_recovery_pass().is_some() {
+            for fault in os_events.drain(..) {
+                os_recovery_hits += 1;
+                let at = prep.machine().now() + SimDuration::from_nanos(1);
+                let target = fault
+                    .doomed_nodes()
+                    .first()
+                    .map_or(NodeId(0), |&v| wild_target(v));
+                inject(prep.machine_mut(), at, &fault, target);
+                detectable |= detectable_fault(&fault);
+                armed.push(Armed { at, fault });
+            }
+        }
+        let all_fired = {
+            let now = prep.machine().now();
+            armed.iter().all(|a| now >= a.at)
+        };
+        if prep.shards_done()
+            && !prep.machine().ext().recovery_active()
+            && pending.is_empty()
+            && os_events.is_empty()
+            && all_fired
+        {
+            let fault_pending = detectable && !prep.machine().ext().report.completed();
+            if fault_pending && detect_wait < 10_000 {
+                detect_wait += 1;
+                continue;
+            }
+            finished = true;
+            break;
+        }
+        if out == RunOutcome::Drained {
+            // A drained machine whose triggered recovery never completed is
+            // a wedged fault cascade (recovery messages lost over dead
+            // links), not a finished run — leave `finished` false so the
+            // drain-dependent checks don't judge a machine that never came
+            // back.
+            let report = &prep.machine().ext().report;
+            finished =
+                report.machine_halted || report.phases.triggered_at.is_none() || report.completed();
+            break;
+        }
+    }
+    prep.post_recovery_pass();
+
+    // Never-armed OS-recovery events (no recovery completed) did not fire.
+    let fired: Vec<FaultSpec> = armed.iter().map(|a| a.fault.clone()).collect();
+    let first_inject = armed.iter().map(|a| a.at).min();
+
+    {
+        let now = prep.machine().now();
+        let failed_cells = layout.failed_cells(&prep.machine().st().failed_nodes);
+        let st = prep.machine_mut().st_mut();
+        for &cell in &failed_cells {
+            st.obs.record(
+                flash_obs::Domain::Hive,
+                now,
+                flash_obs::TraceEvent::HiveCell {
+                    cell: cell as u16,
+                    what: "cell_failed",
+                    value: layout.members(cell).len() as u64,
+                },
+            );
+        }
+    }
+
+    let outcome = prep.collect(finished, detectable);
+    let extra: Vec<Violation> = outcome
+        .checks
+        .iter()
+        .map(|c| Violation {
+            invariant: c.name,
+            details: c.details.clone(),
+        })
+        .collect();
+
+    let mut record = finalize(
+        prep.machine(),
+        s,
+        finished,
+        detectable,
+        phase_hits,
+        os_recovery_hits,
+        extra,
+        &fired,
+        first_inject,
+    );
+    record.kv = Some(outcome.stats);
+    record
 }
 
 // ----------------------------------------------------------------------

@@ -1,0 +1,290 @@
+//! Chunk placement and the replication directory.
+//!
+//! The key space is hashed into `chunks` chunks. Chunk `c` is initially
+//! placed on cell `c mod n_cells` (the primary) with replicas on the next
+//! `replication - 1` cells around the ring ("ring-buddy" placement, so a
+//! single cell loss degrades every chunk's replica set by at most one).
+//!
+//! The directory is the harness-side ground truth: when recovery reports
+//! failed cells, it drops their replicas, promotes a surviving replica to
+//! primary, and re-replicates onto live cells. A freshly added replica is
+//! *pending* for a modeled copy delay — it receives new writes immediately
+//! but does not count as data-holding until the copy completes, so a second
+//! fault inside the window can still lose the chunk (and the no-data-loss
+//! invariant accounts for that honestly).
+
+/// A placement of chunks onto cells, as seen by the serving shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChunkPlacement {
+    /// Placement epoch; bumped on every reconfiguration.
+    pub version: u32,
+    /// Per chunk: replica cells, primary first. Empty means the chunk is
+    /// lost (all data-holding replicas' cells failed).
+    pub replicas: Vec<Vec<u16>>,
+    /// Per chunk: whether any of its replicas has ever been lost to a
+    /// fault (used to split the latency/error accounting into affected and
+    /// unaffected populations).
+    pub affected: Vec<bool>,
+}
+
+impl ChunkPlacement {
+    /// The initial ring-buddy placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero or exceeds the cell count.
+    pub fn initial(chunks: u32, n_cells: usize, replication: usize) -> Self {
+        assert!(replication >= 1 && replication <= n_cells);
+        let replicas = (0..chunks)
+            .map(|c| {
+                (0..replication)
+                    .map(|r| ((c as usize + r) % n_cells) as u16)
+                    .collect()
+            })
+            .collect();
+        ChunkPlacement {
+            version: 0,
+            replicas,
+            affected: vec![false; chunks as usize],
+        }
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> u32 {
+        self.replicas.len() as u32
+    }
+
+    /// Whether the chunk has no surviving replica.
+    pub fn is_lost(&self, chunk: u32) -> bool {
+        self.replicas[chunk as usize].is_empty()
+    }
+
+    /// The chunk's primary cell, if any replica survives.
+    pub fn primary(&self, chunk: u32) -> Option<u16> {
+        self.replicas[chunk as usize].first().copied()
+    }
+}
+
+/// What one reconfiguration pass did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Chunks whose primary moved to a surviving replica.
+    pub failovers: u64,
+    /// Fresh replicas scheduled for copy onto live cells.
+    pub rereplicated: u64,
+    /// Chunks that lost their last data-holding replica in this pass.
+    pub lost: u64,
+    /// Chunks whose replica set changed in this pass.
+    pub reconfigured: Vec<u32>,
+}
+
+/// The harness-side replication directory: current placement plus pending
+/// (still-copying) replicas and lifetime repair counters.
+#[derive(Clone, Debug)]
+pub struct ChunkDirectory {
+    /// Current placement (install into shards after each pass).
+    pub placement: ChunkPlacement,
+    /// Replicas still copying: `(chunk, cell, ready_at_ns)`. Present in
+    /// `placement.replicas` (they receive writes) but not data-holding.
+    pending: Vec<(u32, u16, u64)>,
+    n_cells: usize,
+    replication: usize,
+    /// Lifetime count of primary failovers.
+    pub failovers: u64,
+    /// Lifetime count of replicas scheduled for re-replication.
+    pub rereplications: u64,
+    /// Lifetime count of chunks lost.
+    pub chunks_lost: u64,
+}
+
+impl ChunkDirectory {
+    /// Creates a directory with the initial ring-buddy placement.
+    pub fn new(chunks: u32, n_cells: usize, replication: usize) -> Self {
+        ChunkDirectory {
+            placement: ChunkPlacement::initial(chunks, n_cells, replication),
+            pending: Vec::new(),
+            n_cells,
+            replication,
+            failovers: 0,
+            rereplications: 0,
+            chunks_lost: 0,
+        }
+    }
+
+    /// Replica cells of a chunk that actually hold the data (not still
+    /// copying as of `now_ns`).
+    pub fn data_holding(&self, chunk: u32, now_ns: u64) -> Vec<u16> {
+        self.placement.replicas[chunk as usize]
+            .iter()
+            .copied()
+            .filter(|&cell| {
+                !self
+                    .pending
+                    .iter()
+                    .any(|&(c, cl, ready)| c == chunk && cl == cell && ready > now_ns)
+            })
+            .collect()
+    }
+
+    /// Reconfigures after recovery reported `failed_cells` (the cumulative
+    /// failed set — passing already-processed cells again is harmless):
+    /// drops failed replicas, promotes survivors, and re-replicates onto
+    /// live cells with copy completion at `now_ns + repair_ns_per_chunk`.
+    pub fn on_cells_failed(
+        &mut self,
+        failed_cells: &[usize],
+        now_ns: u64,
+        repair_ns_per_chunk: u64,
+    ) -> RepairSummary {
+        let failed = |cell: u16| failed_cells.contains(&(cell as usize));
+        let mut summary = RepairSummary::default();
+
+        // Copies that finished are promoted (dropped from the pending
+        // list); copies whose target cell failed are dropped entirely —
+        // the survivor filter below removes them from the replica list.
+        self.pending
+            .retain(|&(_, cell, ready)| ready > now_ns && !failed(cell));
+
+        for c in 0..self.placement.chunks() {
+            let ci = c as usize;
+            if self.placement.replicas[ci].is_empty() {
+                continue; // already lost
+            }
+            let survivors: Vec<u16> = self.placement.replicas[ci]
+                .iter()
+                .copied()
+                .filter(|&cell| !failed(cell))
+                .collect();
+            if survivors.len() == self.placement.replicas[ci].len() {
+                continue; // untouched by this fault
+            }
+            self.placement.affected[ci] = true;
+            summary.reconfigured.push(c);
+            let still_pending = |cell: u16| {
+                self.pending
+                    .iter()
+                    .any(|&(ch, cl, _)| ch == c && cl == cell)
+            };
+            let data: Vec<u16> = survivors
+                .iter()
+                .copied()
+                .filter(|&cell| !still_pending(cell))
+                .collect();
+            if data.is_empty() {
+                // Every data-holding replica died (a pending copy that
+                // never finished cannot serve): the chunk is lost.
+                self.placement.replicas[ci].clear();
+                self.pending.retain(|&(ch, _, _)| ch != c);
+                self.chunks_lost += 1;
+                summary.lost += 1;
+                continue;
+            }
+            let old_primary = self.placement.replicas[ci][0];
+            if data[0] != old_primary {
+                self.failovers += 1;
+                summary.failovers += 1;
+            }
+            // Data-holding survivors first (new primary at the front),
+            // then survivors still copying, then fresh replicas from the
+            // ring of live cells.
+            let mut newlist = data.clone();
+            newlist.extend(
+                survivors
+                    .iter()
+                    .copied()
+                    .filter(|&cell| still_pending(cell)),
+            );
+            for off in 0..self.n_cells {
+                if newlist.len() >= self.replication {
+                    break;
+                }
+                let cand = ((ci + off) % self.n_cells) as u16;
+                if failed(cand) || newlist.contains(&cand) {
+                    continue;
+                }
+                newlist.push(cand);
+                self.pending
+                    .push((c, cand, now_ns.saturating_add(repair_ns_per_chunk)));
+                self.rereplications += 1;
+                summary.rereplicated += 1;
+            }
+            self.placement.replicas[ci] = newlist;
+        }
+
+        if !summary.reconfigured.is_empty() {
+            self.placement.version += 1;
+        }
+        summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_placement_rings_around_cells() {
+        let p = ChunkPlacement::initial(8, 4, 2);
+        assert_eq!(p.replicas[0], vec![0, 1]);
+        assert_eq!(p.replicas[3], vec![3, 0]);
+        assert_eq!(p.replicas[5], vec![1, 2]);
+        assert_eq!(p.primary(6), Some(2));
+        assert!(!p.is_lost(0));
+    }
+
+    #[test]
+    fn single_cell_loss_fails_over_and_rereplicates() {
+        let mut d = ChunkDirectory::new(8, 4, 2);
+        let s = d.on_cells_failed(&[1], 1_000, 500);
+        // Chunks with primary on cell 1 (1, 5) fail over; chunks with a
+        // buddy on cell 1 (0, 4) just re-replicate.
+        assert_eq!(s.failovers, 2);
+        assert_eq!(s.lost, 0);
+        assert!(s.rereplicated >= 4);
+        assert_eq!(d.placement.replicas[1][0], 2, "failover to ring buddy");
+        // Fresh replicas are pending until the copy delay elapses.
+        assert_eq!(d.data_holding(1, 1_100).len(), 1);
+        assert_eq!(d.data_holding(1, 2_000).len(), 2);
+        assert!(d.placement.affected[1]);
+        assert!(!d.placement.affected[2]);
+    }
+
+    #[test]
+    fn second_fault_inside_copy_window_loses_the_chunk() {
+        let mut d = ChunkDirectory::new(4, 4, 2);
+        // Chunk 0 lives on cells {0, 1}. Kill cell 0: data survives on
+        // cell 1, new copy pending on some live cell.
+        d.on_cells_failed(&[0], 1_000, 1_000_000);
+        assert_eq!(d.data_holding(0, 2_000), vec![1]);
+        // Kill cell 1 before the copy finishes: chunk 0 is lost.
+        let s = d.on_cells_failed(&[0, 1], 3_000, 1_000_000);
+        assert!(s.lost >= 1);
+        assert!(d.placement.is_lost(0));
+        assert_eq!(d.chunks_lost as usize, 1);
+    }
+
+    #[test]
+    fn second_fault_after_copy_window_keeps_the_chunk() {
+        let mut d = ChunkDirectory::new(4, 4, 2);
+        d.on_cells_failed(&[0], 1_000, 1_000);
+        // The copy finished long before the second fault.
+        let s = d.on_cells_failed(&[0, 1], 1_000_000, 1_000);
+        assert_eq!(s.lost, 0);
+        assert!(!d.placement.is_lost(0));
+        assert!(d
+            .placement
+            .replicas
+            .iter()
+            .all(|r| r.iter().all(|&cell| cell >= 2)));
+    }
+
+    #[test]
+    fn reprocessing_the_same_failed_set_is_idempotent() {
+        let mut d = ChunkDirectory::new(8, 4, 2);
+        d.on_cells_failed(&[2], 1_000, 500);
+        let before = d.placement.clone();
+        let s = d.on_cells_failed(&[2], 5_000, 500);
+        assert_eq!(s, RepairSummary::default());
+        assert_eq!(d.placement, before);
+    }
+}

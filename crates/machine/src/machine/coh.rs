@@ -399,7 +399,8 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
         }
         node.naks.reset();
         node.proc = ProcState::Ready;
-        node.workload.on_result(NodeId(n), OpResult::Ok(None));
+        node.workload
+            .on_result_at(NodeId(n), sched.now(), OpResult::Ok(None));
         node.current_op = None;
         let resume = node.occupancy.busy_until();
         // Honor any intervention that raced with this grant.
@@ -535,7 +536,8 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
         node.naks.reset();
         node.proc = ProcState::Ready;
         node.current_op = None;
-        node.workload.on_result(NodeId(n), OpResult::Ok(None));
+        node.workload
+            .on_result_at(NodeId(n), sched.now(), OpResult::Ok(None));
         let resume = node.occupancy.busy_until();
         // Honor an intervention that raced with the upgrade grant: same
         // rules as for exclusive data grants (a buffered Inval is from an
@@ -594,7 +596,8 @@ impl<R: Clone + std::fmt::Debug> CohHandlers for MachineState<R> {
         node.naks.reset();
         node.proc = ProcState::Ready;
         node.current_op = None;
-        node.workload.on_result(NodeId(n), OpResult::BusError(err));
+        node.workload
+            .on_result_at(NodeId(n), sched.now(), OpResult::BusError(err));
         st.counters.incr("bus_errors");
         st.obs.record(
             Domain::Machine,

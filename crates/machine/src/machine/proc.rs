@@ -68,7 +68,7 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
             }
             if node.current_op.is_none() {
                 let node_id = node.id;
-                let op = node.workload.next_op(node_id, &mut node.rng);
+                let op = node.workload.next_op_at(node_id, now, &mut node.rng);
                 node.current_op = Some(op);
             }
         }
@@ -85,7 +85,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
             ProcOp::Compute(ns) => {
                 let node = &mut st.nodes[n as usize];
                 node.current_op = None;
-                node.workload.on_result(NodeId(n), OpResult::Ok(None));
+                node.workload
+                    .on_result_at(NodeId(n), now, OpResult::Ok(None));
                 sched.after(SimDuration::from_nanos(ns) + issue, Ev::ProcNext(n));
             }
             ProcOp::Read(raw) | ProcOp::Write(raw) | ProcOp::SpeculativeWrite(raw) => {
@@ -129,7 +130,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
                     }
                     let node = &mut st.nodes[n as usize];
                     node.current_op = None;
-                    node.workload.on_result(NodeId(n), OpResult::Ok(None));
+                    node.workload
+                        .on_result_at(NodeId(n), now, OpResult::Ok(None));
                     sched.after(
                         SimDuration::from_nanos(st.params.l2_hit_ns) + issue,
                         Ev::ProcNext(n),
@@ -180,7 +182,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
                         Some(node.io_dev.read())
                     };
                     node.current_op = None;
-                    node.workload.on_result(NodeId(n), OpResult::Ok(value));
+                    node.workload
+                        .on_result_at(NodeId(n), now, OpResult::Ok(value));
                     sched.after(
                         SimDuration::from_nanos(st.params.magic.costs.uncached_ns) + issue,
                         Ev::ProcNext(n),
@@ -275,7 +278,7 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
                     node.proc = ProcState::Ready;
                     node.current_op = None;
                     node.workload
-                        .on_result(NodeId(n), OpResult::Ok(Some(value)));
+                        .on_result_at(NodeId(n), sched.now(), OpResult::Ok(Some(value)));
                     let resume = node.occupancy.busy_until();
                     sched.at(resume, Ev::ProcNext(n));
                 } else if node.uncached.deliver_late(tag, value) {
@@ -290,7 +293,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
                 if waiting {
                     node.proc = ProcState::Ready;
                     node.current_op = None;
-                    node.workload.on_result(NodeId(n), OpResult::Ok(None));
+                    node.workload
+                        .on_result_at(NodeId(n), sched.now(), OpResult::Ok(None));
                     let resume = node.occupancy.busy_until();
                     sched.at(resume, Ev::ProcNext(n));
                 }
@@ -303,8 +307,11 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
                     node.bus_errors += 1;
                     node.proc = ProcState::Ready;
                     node.current_op = None;
-                    node.workload
-                        .on_result(NodeId(n), OpResult::BusError(BusError::ForeignUncachedIo));
+                    node.workload.on_result_at(
+                        NodeId(n),
+                        sched.now(),
+                        OpResult::BusError(BusError::ForeignUncachedIo),
+                    );
                     st.counters.incr("bus_errors");
                     let resume = node.occupancy.busy_until();
                     sched.at(resume, Ev::ProcNext(n));
@@ -340,7 +347,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
         node.current_op = None;
         node.current_is_speculative = false;
         node.proc = ProcState::Ready;
-        node.workload.on_result(NodeId(n), OpResult::Ok(None));
+        node.workload
+            .on_result_at(NodeId(n), sched.now(), OpResult::Ok(None));
         self.counters.incr("speculative_faults_discarded");
         let resume = self.nodes[n as usize]
             .occupancy
@@ -359,7 +367,8 @@ impl<R: Clone + std::fmt::Debug> ProcHandlers for MachineState<R> {
         node.bus_errors += 1;
         node.current_op = None;
         node.proc = ProcState::Ready;
-        node.workload.on_result(NodeId(n), OpResult::BusError(err));
+        node.workload
+            .on_result_at(NodeId(n), sched.now(), OpResult::BusError(err));
         self.counters.incr("bus_errors");
         sched.after(
             SimDuration::from_nanos(self.params.proc_issue_ns),

@@ -167,6 +167,7 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
         if !self.nodes[i].is_alive() {
             return;
         }
+        let now = sched.now();
         self.nodes[i].mode = MagicMode::Normal;
         self.nodes[i].os_interrupt_pending = true;
         if !matches!(self.nodes[i].proc, ProcState::InRecovery) {
@@ -180,13 +181,17 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
             node_ref.current_op = None;
             match saved {
                 Some(flash_magic::SavedRead::Arrived(v)) => {
-                    node_ref.workload.on_result(node, OpResult::Ok(Some(v)));
+                    node_ref
+                        .workload
+                        .on_result_at(node, now, OpResult::Ok(Some(v)));
                 }
                 _ => {
                     node_ref.bus_errors += 1;
-                    node_ref
-                        .workload
-                        .on_result(node, OpResult::BusError(BusError::UncachedUnresolved));
+                    node_ref.workload.on_result_at(
+                        node,
+                        now,
+                        OpResult::BusError(BusError::UncachedUnresolved),
+                    );
                 }
             }
             sched.immediately(Ev::ProcNext(node.0));
@@ -200,7 +205,9 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                 // as completed (see DESIGN.md).
                 node_ref.proc = ProcState::Ready;
                 node_ref.current_op = None;
-                node_ref.workload.on_result(node, OpResult::Ok(None));
+                node_ref
+                    .workload
+                    .on_result_at(node, now, OpResult::Ok(None));
             }
             _ => {
                 // Cacheable ops (or none): reissue from current_op.

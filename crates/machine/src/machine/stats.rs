@@ -27,14 +27,19 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                 }
             }
         }
-        // Collect exclusive (dirty) copies from all live caches.
+        // Collect cached copies from all live caches: exclusive (dirty)
+        // copies define a line's effective data; any live copy of the
+        // latest version proves the data still survives somewhere.
         let mut dirty: std::collections::HashMap<LineAddr, flash_coherence::Version> =
             std::collections::HashMap::new();
+        let mut cached: std::collections::HashSet<(LineAddr, flash_coherence::Version)> =
+            std::collections::HashSet::new();
         for node in &self.nodes {
             if !node.is_alive() {
                 continue;
             }
             for l in node.cache.iter() {
+                cached.insert((l.addr, l.version));
                 if l.exclusive {
                     dirty.insert(l.addr, l.version);
                 }
@@ -51,7 +56,20 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                 match state {
                     DirState::Incoherent => {
                         report.marked_incoherent += 1;
-                        if !self.oracle.may_be_incoherent(line) && !lost_in_transit.contains(&line)
+                        // The may-set is a fault-time snapshot, so it can
+                        // miss lines endangered *after* every snapshot — an
+                        // owner whose flush writeback was lost and that was
+                        // then shut down cleanly as part of its doomed cell.
+                        // Marking is over-marking only if the latest
+                        // committed version actually survives somewhere
+                        // (home memory or a live cache); data that exists
+                        // nowhere is legitimately incoherent.
+                        let expected = self.oracle.expected_version(line);
+                        let latest_available = node.dir.mem_version(line) == expected
+                            || cached.contains(&(line, expected));
+                        if !self.oracle.may_be_incoherent(line)
+                            && !lost_in_transit.contains(&line)
+                            && latest_available
                         {
                             report.overmarked.push(line);
                         }
@@ -71,11 +89,25 @@ impl<R: Clone + std::fmt::Debug> MachineState<R> {
                             // memory directly qualify — a stale line the
                             // home believes clean is silent corruption
                             // regardless of what the drop log says.
+                            // An owner that died holding the sole dirty
+                            // copy is the same detectable case: the data is
+                            // gone, but the home still names the dead owner
+                            // and NAKs the next access into recovery. Only
+                            // a machine that halts before that recovery
+                            // leaves such entries behind.
+                            let owner_dead = match state {
+                                DirState::Exclusive(o)
+                                | DirState::PendingRecall { owner: o, .. } => {
+                                    self.failed_nodes.contains(o)
+                                        || !self.nodes[o.index()].is_alive()
+                                }
+                                _ => false,
+                            };
                             let guarded = matches!(
                                 state,
                                 DirState::Exclusive(_) | DirState::PendingRecall { .. }
                             );
-                            if guarded && lost_in_transit.contains(&line) {
+                            if guarded && (owner_dead || lost_in_transit.contains(&line)) {
                                 report.lost_in_transit.push(line);
                             } else {
                                 report.corrupted.push(line);

@@ -3,7 +3,7 @@
 use flash_coherence::LineAddr;
 use flash_magic::BusError;
 use flash_net::NodeId;
-use flash_sim::DetRng;
+use flash_sim::{DetRng, SimTime};
 
 /// One processor operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -55,11 +55,30 @@ pub trait Workload: std::fmt::Debug {
     /// Produces the next operation for `node`.
     fn next_op(&mut self, node: NodeId, rng: &mut DetRng) -> ProcOp;
 
+    /// Time-aware variant of [`Workload::next_op`]: the machine calls this,
+    /// passing the simulated issue time. The default delegates to
+    /// `next_op`, so time-blind workloads implement only that. Open-loop
+    /// workloads (request generators with a fixed arrival schedule)
+    /// override this to compare `now` against their next arrival.
+    fn next_op_at(&mut self, node: NodeId, now: SimTime, rng: &mut DetRng) -> ProcOp {
+        let _ = now;
+        self.next_op(node, rng)
+    }
+
     /// Deep-copies the workload, cursor included (checkpoint support).
     fn clone_box(&self) -> Box<dyn Workload>;
 
     /// Observes the completion (or bus-erroring) of the previous operation.
     fn on_result(&mut self, _node: NodeId, _result: OpResult) {}
+
+    /// Time-aware variant of [`Workload::on_result`]: the machine calls
+    /// this, passing the simulated completion time. The default delegates
+    /// to `on_result`. Latency-measuring workloads override this to
+    /// compute `now - scheduled_arrival` per request.
+    fn on_result_at(&mut self, node: NodeId, now: SimTime, result: OpResult) {
+        let _ = now;
+        self.on_result(node, result);
+    }
 
     /// A monotone progress counter (completed operations); experiment
     /// harnesses poll this to decide when to inject faults.
@@ -70,6 +89,13 @@ pub trait Workload: std::fmt::Debug {
     /// Downcasting hook so experiment harnesses can inspect concrete
     /// workload state after a run.
     fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Mutable downcasting hook so experiment harnesses can update
+    /// concrete workload state mid-run (e.g. installing a new replica
+    /// placement into a serving workload after recovery).
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
         None
     }
 }

@@ -202,6 +202,25 @@ pub enum TraceEvent {
         /// Event-specific value.
         value: u64,
     },
+    /// A KV request lifecycle event at a serving shard (recorded under
+    /// [`Domain::Hive`]: the KV store is a Hive service).
+    KvRequest {
+        /// The shard's serving node.
+        node: u16,
+        /// Lifecycle label (`arrivals_resolved`, `errors`, ...).
+        what: &'static str,
+        /// Event-specific value.
+        value: u64,
+    },
+    /// A KV chunk placement event (failover, re-replication, loss).
+    KvChunk {
+        /// The chunk id.
+        chunk: u16,
+        /// Placement label (`failover`, `rereplicate`, `lost`, ...).
+        what: &'static str,
+        /// Event-specific value (usually the cell concerned).
+        value: u64,
+    },
     /// A free-form labelled observation.
     Note {
         /// Label.
@@ -230,6 +249,8 @@ impl TraceEvent {
             TraceEvent::RecoveryRestart { .. } => "recovery_restart",
             TraceEvent::HiveCell { .. } => "hive_cell",
             TraceEvent::OsEvent { .. } => "os_event",
+            TraceEvent::KvRequest { .. } => "kv_request",
+            TraceEvent::KvChunk { .. } => "kv_chunk",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -248,10 +269,12 @@ impl TraceEvent {
             | TraceEvent::PhaseEnter { node, .. }
             | TraceEvent::PhaseExit { node, .. }
             | TraceEvent::BarrierRound { node, .. }
-            | TraceEvent::RecoveryRestart { node, .. } => Some(node),
+            | TraceEvent::RecoveryRestart { node, .. }
+            | TraceEvent::KvRequest { node, .. } => Some(node),
             TraceEvent::HiveCell { cell, .. } => Some(cell),
             TraceEvent::PacketDropped { .. }
             | TraceEvent::OsEvent { .. }
+            | TraceEvent::KvChunk { .. }
             | TraceEvent::Note { .. } => None,
         }
     }
@@ -325,6 +348,12 @@ impl fmt::Display for TraceEvent {
                 write!(f, "hive_cell cell={cell} what={what} value={value}")
             }
             TraceEvent::OsEvent { what, value } => write!(f, "os_event what={what} value={value}"),
+            TraceEvent::KvRequest { node, what, value } => {
+                write!(f, "kv_request node={node} what={what} value={value}")
+            }
+            TraceEvent::KvChunk { chunk, what, value } => {
+                write!(f, "kv_chunk chunk={chunk} what={what} value={value}")
+            }
             TraceEvent::Note { what, value } => write!(f, "note what={what} value={value}"),
         }
     }

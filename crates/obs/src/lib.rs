@@ -52,7 +52,7 @@ pub use export::{
     chrome_trace_json, json_escape_str, latency_summary, phase_rows, phase_timeline, tail_json,
     PhaseRow,
 };
-pub use metrics::Metrics;
+pub use metrics::{Metrics, Quantiles};
 pub use recorder::{fnv1a, MergedEvent, Recorder, DEFAULT_SHARD_CAPACITY};
 
 // The generic ring backend the recorder shards are built on, re-exported

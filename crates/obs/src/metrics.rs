@@ -5,6 +5,41 @@
 
 use flash_sim::{Counters, LatencyHistogram, SimDuration};
 
+/// Tail-latency quantiles extracted from a fixed-bucket histogram by
+/// nearest rank: each field is the top edge of the bucket containing the
+/// `ceil(q * total)`-th sample, so the extraction is exact, deterministic
+/// and identical across hosts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Number of samples the quantiles summarize.
+    pub total: u64,
+    /// Median upper bound, in nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile upper bound, in nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile upper bound, in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile upper bound, in nanoseconds.
+    pub p999_ns: u64,
+    /// Maximum sample's bucket upper bound, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl Quantiles {
+    /// Extracts p50/p95/p99/p999/max from a histogram. All fields are zero
+    /// for an empty histogram.
+    pub fn of(h: &LatencyHistogram) -> Quantiles {
+        Quantiles {
+            total: h.total(),
+            p50_ns: h.quantile_upper_bound(0.50).as_nanos(),
+            p95_ns: h.quantile_upper_bound(0.95).as_nanos(),
+            p99_ns: h.quantile_upper_bound(0.99).as_nanos(),
+            p999_ns: h.quantile_upper_bound(0.999).as_nanos(),
+            max_ns: h.quantile_upper_bound(1.0).as_nanos(),
+        }
+    }
+}
+
 /// Counters and histograms recorded alongside the trace.
 ///
 /// # Examples
@@ -120,15 +155,28 @@ impl Metrics {
         sorted.into_iter()
     }
 
-    /// Merges another registry into this one (summing counters; histogram
-    /// totals are *not* mergeable bucket-wise, so foreign histograms are
-    /// appended only when absent here).
+    /// Nearest-rank tail quantiles (p50/p95/p99/p999/max) for histogram
+    /// `name`, or `None` if it was never recorded.
+    pub fn quantiles(&self, name: &str) -> Option<Quantiles> {
+        self.histogram(name).map(Quantiles::of)
+    }
+
+    /// Merges a foreign histogram into histogram `name`, bucket-wise.
+    /// Used to fold shard- or workload-local histograms into the machine's
+    /// registry at collection time.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &LatencyHistogram) {
+        if self.enabled {
+            self.hist_mut(name).merge(h);
+        }
+    }
+
+    /// Merges another registry's counters into this one (summing).
     pub fn merge_counters(&mut self, other: &Metrics) {
         self.counters.merge(&other.counters);
     }
 
     /// A deterministic JSON snapshot: name-sorted counters, plus per
-    /// histogram the total and p50/p90/p99/max upper bounds in
+    /// histogram the total and p50/p90/p95/p99/p999/max upper bounds in
     /// nanoseconds.
     pub fn snapshot_json(&self) -> String {
         use std::fmt::Write;
@@ -140,15 +188,18 @@ impl Metrics {
         out.push_str("}, \"histograms\": {");
         for (i, (k, h)) in self.histograms().enumerate() {
             let sep = if i == 0 { "" } else { ", " };
+            let q = Quantiles::of(h);
             let _ = write!(
                 out,
-                "{sep}\"{}\": {{\"total\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+                "{sep}\"{}\": {{\"total\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
                 crate::json_escape_str(k),
-                h.total(),
-                h.quantile_upper_bound(0.50).as_nanos(),
+                q.total,
+                q.p50_ns,
                 h.quantile_upper_bound(0.90).as_nanos(),
-                h.quantile_upper_bound(0.99).as_nanos(),
-                h.quantile_upper_bound(1.0).as_nanos(),
+                q.p95_ns,
+                q.p99_ns,
+                q.p999_ns,
+                q.max_ns,
             );
         }
         out.push_str("}}");
@@ -182,6 +233,59 @@ mod tests {
         m.observe_count(name, 8);
         assert_eq!(m.histogram("depth").unwrap().total(), 2);
         assert_eq!(m.histograms().count(), 1);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_over_buckets() {
+        let mut m = Metrics::new();
+        // 999 fast samples in [64,128) and one slow outlier in
+        // [1048576,2097152): p50/p95/p99 sit in the fast bucket (nearest
+        // rank ceil(q*1000) <= 999), while p999 (rank 999) is still fast
+        // and max is the outlier's bucket edge.
+        for _ in 0..999 {
+            m.observe("req", SimDuration::from_nanos(100));
+        }
+        m.observe("req", SimDuration::from_nanos(1_500_000));
+        let q = m.quantiles("req").expect("histogram exists");
+        assert_eq!(q.total, 1000);
+        assert_eq!(q.p50_ns, 127);
+        assert_eq!(q.p95_ns, 127);
+        assert_eq!(q.p99_ns, 127);
+        assert_eq!(q.p999_ns, 127);
+        assert_eq!(q.max_ns, 2_097_151);
+        assert!(m.quantiles("never_recorded").is_none());
+    }
+
+    #[test]
+    fn quantiles_p999_catches_the_tail() {
+        let mut m = Metrics::new();
+        // 998 fast + 2 slow: rank ceil(0.999*1000) = 999 lands on the
+        // first slow sample, so p999 must report the slow bucket.
+        for _ in 0..998 {
+            m.observe("req", SimDuration::from_nanos(100));
+        }
+        m.observe("req", SimDuration::from_nanos(1_500_000));
+        m.observe("req", SimDuration::from_nanos(1_500_000));
+        let q = m.quantiles("req").expect("histogram exists");
+        assert_eq!(q.p99_ns, 127);
+        assert_eq!(q.p999_ns, 2_097_151);
+        assert_eq!(q.max_ns, 2_097_151);
+    }
+
+    #[test]
+    fn merge_histogram_folds_foreign_samples_in() {
+        use flash_sim::LatencyHistogram;
+        let mut local = LatencyHistogram::new();
+        local.record(SimDuration::from_nanos(100));
+        local.record(SimDuration::from_nanos(5_000));
+        let mut m = Metrics::new();
+        m.observe("req", SimDuration::from_nanos(100));
+        m.merge_histogram("req", &local);
+        assert_eq!(m.histogram("req").unwrap().total(), 3);
+        // A disabled registry ignores merges like any other record call.
+        let mut off = Metrics::disabled();
+        off.merge_histogram("req", &local);
+        assert!(off.histogram("req").is_none());
     }
 
     #[test]

@@ -242,6 +242,16 @@ impl LatencyHistogram {
         self.total
     }
 
+    /// Merges another histogram into this one, bucket-wise. Buckets are
+    /// fixed power-of-two ranges, so merging N shard-local histograms is
+    /// exactly equivalent to recording every sample into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.total += other.total;
+    }
+
     /// An upper bound on the `q`-quantile (`q` in `[0,1]`), as the top edge
     /// of the bucket containing that quantile. Returns zero for an empty
     /// histogram.
@@ -317,6 +327,24 @@ mod tests {
         assert!(h.quantile_upper_bound(0.5).as_nanos() <= 1);
         // The max lives in the 1024 bucket: upper edge 2047.
         assert_eq!(h.quantile_upper_bound(1.0).as_nanos(), 2047);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut combined = LatencyHistogram::new();
+        for ns in [3u64, 70, 900, 70_000] {
+            a.record(SimDuration::from_nanos(ns));
+            combined.record(SimDuration::from_nanos(ns));
+        }
+        for ns in [1u64, 70, 2_000_000] {
+            b.record(SimDuration::from_nanos(ns));
+            combined.record(SimDuration::from_nanos(ns));
+        }
+        a.merge(&b);
+        assert_eq!(a, combined);
+        assert_eq!(a.total(), 7);
     }
 
     #[test]

@@ -10,61 +10,8 @@
 //! Exits nonzero if any invariant is violated, so CI can run it as the
 //! `gray-chaos-smoke` gate.
 
-use flash::campaign::{run_campaign, CampaignConfig, GeneratorConfig, RunRecord, Verdict};
-use flash::machine::FaultSpec;
-use flash::obs::latency_summary;
-use flash::sim::{LatencyHistogram, SimDuration};
-
-/// The fault classes of the sheet, in row order. A run is tallied in every
-/// class that appears anywhere in its schedule (multi-faults included), so
-/// the rows answer "when this class was present, what happened?".
-const CLASSES: [&str; 5] = [
-    "fail_stop",
-    "fail_slow",
-    "degraded_memory",
-    "lossy_link",
-    "pool_failure",
-];
-
-fn collect_classes(f: &FaultSpec, out: &mut [bool; 5]) {
-    match f {
-        FaultSpec::FailSlow(..) => out[1] = true,
-        FaultSpec::DegradedMemory(..) => out[2] = true,
-        FaultSpec::LossyLink(..) => out[3] = true,
-        FaultSpec::PoolFailure { .. } => out[4] = true,
-        FaultSpec::Multi(list) => {
-            for m in list {
-                collect_classes(m, out);
-            }
-        }
-        _ => out[0] = true,
-    }
-}
-
-#[derive(Default)]
-struct ClassRow {
-    runs: u64,
-    contained: u64,
-    detected: u64,
-    survived: u64,
-    violations: u64,
-    detect: LatencyHistogram,
-}
-
-impl ClassRow {
-    fn tally(&mut self, r: &RunRecord) {
-        self.runs += 1;
-        match r.verdict {
-            Verdict::Contained => self.contained += 1,
-            Verdict::DetectedRecovered => self.detected += 1,
-            Verdict::SurvivedDegraded => self.survived += 1,
-        }
-        self.violations += r.violations.len() as u64;
-        if let Some(ns) = r.detect_latency_ns {
-            self.detect.record(SimDuration::from_nanos(ns));
-        }
-    }
-}
+use flash::bench::VerdictSheet;
+use flash::campaign::{run_campaign, CampaignConfig, GeneratorConfig};
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -90,19 +37,9 @@ fn main() {
     );
     let report = run_campaign(&cfg);
 
-    let mut rows: Vec<ClassRow> = (0..CLASSES.len()).map(|_| ClassRow::default()).collect();
-    let mut overall = ClassRow::default();
+    let mut sheet = VerdictSheet::new();
     for r in &report.records {
-        let mut present = [false; 5];
-        for e in &r.schedule.events {
-            collect_classes(&e.fault, &mut present);
-        }
-        for (i, p) in present.iter().enumerate() {
-            if *p {
-                rows[i].tally(r);
-            }
-        }
-        overall.tally(r);
+        sheet.tally(r);
     }
 
     println!(
@@ -111,27 +48,9 @@ fn main() {
         report.total_violations(),
         report.records.len()
     );
-    println!(
-        "{:<16} {:>5} {:>10} {:>19} {:>18} {:>11}",
-        "fault class", "runs", "contained", "detected-recovered", "survived-degraded", "violations"
-    );
-    for (name, row) in CLASSES.iter().zip(&rows) {
-        println!(
-            "{name:<16} {:>5} {:>10} {:>19} {:>18} {:>11}",
-            row.runs, row.contained, row.detected, row.survived, row.violations
-        );
-    }
+    print!("{}", sheet.verdict_table());
     println!();
-    print!(
-        "{}",
-        latency_summary("detection latency (all runs)", &overall.detect)
-    );
-    for (name, row) in CLASSES.iter().zip(&rows) {
-        print!(
-            "{}",
-            latency_summary(&format!("detection latency ({name})"), &row.detect)
-        );
-    }
+    print!("{}", sheet.detection_summary());
 
     for failure in report.failures().take(3) {
         println!("\nFAIL seed {}:", failure.schedule.seed);

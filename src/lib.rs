@@ -21,6 +21,8 @@
 //! | [`core`] | `flash-core` | **the recovery algorithm** + experiment harness |
 //! | [`hive`] | `flash-hive` | cell OS model, parallel-make experiments |
 //! | [`campaign`] | `flash-campaign` | randomized chaos campaigns, invariant stack, triage |
+//! | [`hivekv`] | `flash-hivekv` | replicated KV serving workload with SLOs through faults |
+//! | [`mod@bench`] | `flash-bench` | result sheets, sweep engine, per-class fault tallies |
 //!
 //! ## Quickstart
 //!
@@ -42,10 +44,12 @@
 
 #![warn(missing_docs)]
 
+pub use flash_bench as bench;
 pub use flash_campaign as campaign;
 pub use flash_coherence as coherence;
 pub use flash_core as core;
 pub use flash_hive as hive;
+pub use flash_hivekv as hivekv;
 pub use flash_machine as machine;
 pub use flash_magic as magic;
 pub use flash_net as net;

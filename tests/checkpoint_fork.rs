@@ -178,6 +178,69 @@ fn end_to_end_fork_matches_scratch_mid_make() {
     assert_eq!(forked.compiles, scratch.compiles);
 }
 
+/// Service-workload fork contract (the `hive-kv` serving harness): a KV
+/// run forked from a mid-traffic warm checkpoint hashes identically to a
+/// from-scratch run warmed to the same progress point, for fail-stop and
+/// all four gray fault classes striking mid-traffic. The hash covers the
+/// request-lifecycle trace events and replication-repair events, so any
+/// divergence in arrival schedules, retry backoff, or repair ordering
+/// across the checkpoint boundary shows up.
+#[test]
+fn kv_serving_fork_matches_scratch_for_every_fault_class() {
+    use flash::hivekv::{finish_kv_serving, prepare_kv_serving, KvConfig};
+    use flash::machine::FaultSpec;
+    use flash::net::{NodeId, RouterId};
+
+    let mut params = MachineParams::table_5_1();
+    params.n_nodes = 4;
+    let kv = KvConfig {
+        n_cells: 4,
+        chunks: 8,
+        requests_per_shard: 60,
+        ..KvConfig::default()
+    };
+    let recovery = RecoveryConfig::default();
+    let faults: [Option<FaultSpec>; 6] = [
+        None,
+        Some(FaultSpec::Node(NodeId(2))),
+        Some(FaultSpec::FailSlow(NodeId(2), 5)),
+        Some(FaultSpec::DegradedMemory(NodeId(1), 30, 900)),
+        Some(FaultSpec::LossyLink(RouterId(0), RouterId(1), 60_000)),
+        Some(FaultSpec::PoolFailure {
+            pool: vec![NodeId(1), NodeId(2)],
+        }),
+    ];
+
+    let mut warm = prepare_kv_serving(params, &kv, recovery, 9);
+    warm.warm_to_percent(50);
+    for fault in faults {
+        let forked = finish_kv_serving(warm.fork(), fault.clone());
+
+        let mut scratch_prep = prepare_kv_serving(params, &kv, recovery, 9);
+        scratch_prep.warm_to_percent(50);
+        let scratch = finish_kv_serving(scratch_prep, fault.clone());
+
+        assert!(forked.finished && scratch.finished, "{fault:?}");
+        assert_eq!(
+            forked.trace_hash, scratch.trace_hash,
+            "{fault:?}: forked KV trace diverged from from-scratch"
+        );
+        assert_eq!(forked.stats.ok, scratch.stats.ok, "{fault:?}");
+        assert_eq!(forked.stats.errors, scratch.stats.errors, "{fault:?}");
+        assert_eq!(forked.stats.unserved, scratch.stats.unserved, "{fault:?}");
+        assert_eq!(forked.checks.len(), scratch.checks.len(), "{fault:?}");
+        assert!(
+            forked.checks.is_empty(),
+            "{fault:?}: serving invariants violated: {:?}",
+            forked.checks
+        );
+
+        // Forks are independent: a second fork replays identically.
+        let again = finish_kv_serving(warm.fork(), fault.clone());
+        assert_eq!(again.trace_hash, forked.trace_hash, "{fault:?} refork");
+    }
+}
+
 /// Checkpoints may be taken mid-recovery — between the P1 and P4 phase
 /// entries — and a fork taken there still replays bit-identically: the
 /// in-flight recovery messages and timed extension events are part of the
