@@ -27,6 +27,7 @@ fn campaign(runs: u64, workers: usize, firewall: bool) -> CampaignReport {
             firewall_enabled: firewall,
             ..GeneratorConfig::default()
         },
+        ..CampaignConfig::default()
     })
 }
 
@@ -40,6 +41,7 @@ fn gray_campaign(runs: u64, workers: usize) -> CampaignReport {
             gray_chance: 0.45,
             ..GeneratorConfig::default()
         },
+        ..CampaignConfig::default()
     })
 }
 
@@ -54,6 +56,7 @@ fn kv_campaign(runs: u64, workers: usize) -> CampaignReport {
             max_nodes: 8,
             ..GeneratorConfig::default()
         },
+        ..CampaignConfig::default()
     })
 }
 

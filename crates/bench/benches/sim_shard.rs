@@ -1,0 +1,230 @@
+//! **Sharded executor vs. serial engine on one recovery cycle.**
+//!
+//! Runs the 128-node fig-5.5-style recovery cycle (fill, node-fault
+//! injection, four-phase recovery, post-recovery drain to quiescence)
+//! once on the serial engine and once per worker count on the sharded
+//! executor at 8 regions, asserts that every sharded run's trace hash is
+//! bit-identical across worker counts (the W-invariance contract), and
+//! reports wall-clock ratios. The committed numbers live in
+//! `BENCH_sim_shard.json`.
+//!
+//! Environment knobs:
+//!
+//! * `FLASH_SHARD_OPS=N` — per-node workload length (default 3000; the
+//!   CI smoke run uses a small value to exercise the path and the
+//!   determinism assertion, not the speedup);
+//! * `FLASH_BENCH_JSON=path` — additionally write the results as JSON;
+//! * `FLASH_BENCH_CHECK=path` — compare against the committed
+//!   `BENCH_sim_shard.json` and exit non-zero on a regression. The
+//!   1-worker overhead ceiling and the determinism assertion gate on
+//!   every host; the 8-worker speedup floor only gates when the host
+//!   actually has 8 hardware threads to parallelize over.
+
+use flash_bench::{banner, Stopwatch};
+use flash_core::{run_fault_experiment, run_fault_experiment_sharded, ExperimentConfig};
+use flash_machine::{FaultSpec, MachineParams, ShardPlan};
+use flash_net::NodeId;
+
+const REGIONS: usize = 8;
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+struct Arm {
+    name: String,
+    secs: f64,
+    hash: u64,
+    passed: bool,
+}
+
+fn config() -> ExperimentConfig {
+    let mut params = MachineParams::table_5_1();
+    params.n_nodes = 128;
+    params.mem_mb_per_node = 1;
+    params.l2_mb = 1.0;
+    let mut cfg = ExperimentConfig::new(params, 7);
+    cfg.fill_ops = 100;
+    cfg.total_ops = std::env::var("FLASH_SHARD_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3_000);
+    cfg
+}
+
+fn emit_json(path: &str, cfg: &ExperimentConfig, arms: &[Arm], parallelism: usize) {
+    let serial = &arms[0];
+    let mut s = String::from("{\n  \"schema\": \"flash-bench/sim-shard/v1\",\n");
+    s.push_str(&format!(
+        "  \"total_ops\": {},\n  \"regions\": {REGIONS},\n  \"available_parallelism\": {parallelism},\n  \"arms\": [\n",
+        cfg.total_ops
+    ));
+    for (i, a) in arms.iter().enumerate() {
+        let sep = if i + 1 == arms.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"secs\": {:.4}, \"speedup_vs_serial\": {:.3}, \"hash\": \"{:#018x}\"}}{}\n",
+            a.name,
+            a.secs,
+            serial.secs / a.secs,
+            a.hash,
+            sep,
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("results written to {path}");
+    }
+}
+
+/// Pulls a named numeric field out of the committed baseline, line-wise
+/// (same idiom as the sim-speed and sweep-fork checkers).
+fn extract_num(text: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    for line in text.lines() {
+        let Some(k) = line.find(&tag) else { continue };
+        let rest = line[k + tag.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse() {
+            return Some(v);
+        }
+    }
+    None
+}
+
+fn check_floors(path: &str, arms: &[Arm], parallelism: usize) -> usize {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            return 1;
+        }
+    };
+    let serial = &arms[0];
+    let mut regressions = 0;
+
+    // The 1-worker arm measures pure discretization overhead (windows,
+    // unfold/fold) with no parallelism in play, so it gates on any host.
+    if let Some(ceiling) = extract_num(&text, "ceiling_overhead_1w") {
+        let w1 = arms
+            .iter()
+            .find(|a| a.name == "sharded_8r_1w")
+            .expect("1-worker arm always runs");
+        let ratio = w1.secs / serial.secs;
+        let verdict = if ratio > ceiling {
+            regressions += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("check sharded_8r_1w overhead {ratio:.2}x vs ceiling {ceiling:.2}x {verdict}");
+    }
+
+    // The 8-worker floor needs 8 hardware threads to mean anything; on a
+    // smaller host the threads time-share one core and the "speedup" only
+    // measures barrier thrash.
+    if let Some(floor) = extract_num(&text, "floor_speedup_8w") {
+        if parallelism >= 8 {
+            let w8 = arms
+                .iter()
+                .find(|a| a.name == "sharded_8r_8w")
+                .expect("8-worker arm always runs");
+            let speedup = serial.secs / w8.secs;
+            let verdict = if speedup < floor {
+                regressions += 1;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("check sharded_8r_8w speedup {speedup:.2}x vs floor {floor:.2}x {verdict}");
+        } else {
+            println!(
+                "check sharded_8r_8w speedup skipped (host parallelism {parallelism} < 8, floor {floor:.2}x not meaningful)"
+            );
+        }
+    }
+    regressions
+}
+
+fn main() {
+    banner(
+        "sim_shard: sharded executor vs. serial engine, 128-node recovery cycle",
+        "intra-run parallelism with the bit-identical W-invariance contract",
+    );
+    let cfg = config();
+    let fault = || FaultSpec::Node(NodeId(1));
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let sw = Stopwatch::start();
+
+    let t = Stopwatch::start();
+    let out = run_fault_experiment(&cfg, fault());
+    let mut arms = vec![Arm {
+        name: "serial".into(),
+        secs: t.secs(),
+        hash: out.trace_hash,
+        passed: out.passed(),
+    }];
+    for w in WORKERS {
+        let t = Stopwatch::start();
+        let out = run_fault_experiment_sharded(&cfg, fault(), ShardPlan::new(REGIONS, w));
+        arms.push(Arm {
+            name: format!("sharded_{REGIONS}r_{w}w"),
+            secs: t.secs(),
+            hash: out.trace_hash,
+            passed: out.passed(),
+        });
+    }
+
+    println!(
+        "\n{:<16} {:>9} {:>9} {:>20}",
+        "arm", "secs", "vs serial", "trace hash"
+    );
+    let serial_secs = arms[0].secs;
+    for a in &arms {
+        println!(
+            "{:<16} {:>8.2}s {:>8.2}x {:>#20x}",
+            a.name,
+            a.secs,
+            serial_secs / a.secs,
+            a.hash
+        );
+    }
+    println!(
+        "[{:.1}s host total, available parallelism {}]",
+        sw.secs(),
+        parallelism
+    );
+
+    // W-invariance: every sharded arm must produce the same trace,
+    // bit for bit, regardless of worker count.
+    let sharded_hash = arms[1].hash;
+    let mismatches = arms[1..]
+        .iter()
+        .filter(|a| {
+            if a.hash != sharded_hash {
+                eprintln!("DETERMINISM MISMATCH {}: {:#x}", a.name, a.hash);
+            }
+            a.hash != sharded_hash
+        })
+        .count();
+    assert!(
+        arms.iter().all(|a| a.passed),
+        "every arm must complete recovery and validate"
+    );
+
+    if let Ok(path) = std::env::var("FLASH_BENCH_JSON") {
+        emit_json(&path, &cfg, &arms, parallelism);
+    }
+    assert_eq!(
+        mismatches, 0,
+        "sharded trace hashes must be identical across worker counts"
+    );
+    if let Ok(path) = std::env::var("FLASH_BENCH_CHECK") {
+        let regressions = check_floors(&path, &arms, parallelism);
+        if regressions > 0 {
+            eprintln!("{regressions} check(s) regressed vs {path}");
+            std::process::exit(1);
+        }
+        println!("floor check passed vs {path}");
+    }
+}

@@ -130,13 +130,17 @@ where
                 }
                 let ckpt = prepare(g);
                 let out = run_group(g, ckpt);
-                *slots[g].lock().unwrap() = Some(out);
+                *slots[g].lock().expect("sweep result lock poisoned") = Some(out);
             });
         }
     });
     slots
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("group completed"))
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result lock poisoned")
+                .expect("group completed")
+        })
         .collect()
 }
 
@@ -151,7 +155,12 @@ fn aggregate<O>(
     let mut flat: Vec<SweepRun<O>> = groups.into_iter().flatten().collect();
     // Order by (kind position, run index); drop the overshoot of the last
     // group so each kind has exactly `runs_per_kind` runs.
-    let pos = |k: FaultKind| kinds.iter().position(|&x| x as u64 == k as u64).unwrap();
+    let pos = |k: FaultKind| {
+        kinds
+            .iter()
+            .position(|&x| x as u64 == k as u64)
+            .expect("sweep runs only carry fault kinds from the configured kind list")
+    };
     flat.sort_by_key(|r| (pos(r.kind), r.run));
     flat.retain(|r| r.run < cfg.runs_per_kind);
     flat

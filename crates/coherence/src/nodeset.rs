@@ -1,13 +1,15 @@
 //! A compact bitset of node ids, used for directory sharer lists and
-//! recovery-state vectors. Supports machines of up to 256 nodes (the paper
-//! evaluates up to 128; FLASH scales to 512 — widen `WORDS` if needed).
+//! recovery-state vectors. Supports machines of up to 1024 nodes: the paper
+//! evaluates up to 128 and FLASH scales to 512, but the sharded executor's
+//! beyond-the-paper sweeps run 512- and 1024-node meshes, which need every
+//! sharer list and recovery vector to address the full machine.
 
 use core::fmt;
 use flash_net::NodeId;
 
-const WORDS: usize = 4;
+const WORDS: usize = 16;
 
-/// A set of [`NodeId`]s backed by a fixed 256-bit bitmap.
+/// A set of [`NodeId`]s backed by a fixed 1024-bit bitmap.
 ///
 /// # Examples
 ///
@@ -223,7 +225,7 @@ mod tests {
     #[should_panic(expected = "exceeds NodeSet capacity")]
     fn oversized_id_panics() {
         let mut s = NodeSet::new();
-        s.insert(NodeId(256));
+        s.insert(NodeId(1024));
     }
 
     #[test]

@@ -274,7 +274,7 @@ impl Extension for RecoveryExt {
                     let echo = RecMsg::Exchange {
                         inc,
                         round,
-                        view: rec.view.clone(),
+                        view: Box::new(rec.view.clone()),
                         hint: rec.bound,
                         reply_route: echo_route,
                     };
@@ -288,7 +288,7 @@ impl Extension for RecoveryExt {
                     rec.cwn.push(from.0);
                     rec.routes.insert(from.0, reply_route);
                 }
-                rec.inbox.insert((from.0, round), (view, hint));
+                rec.inbox.insert((from.0, round), (*view, hint));
                 self.try_advance_round(st, at.0, sched);
             }
             RecMsg::BarUp { inc, id, ok } => {

@@ -222,7 +222,7 @@ impl RecoveryExt {
             let msg = RecMsg::Exchange {
                 inc,
                 round,
-                view: view.clone(),
+                view: Box::new(view.clone()),
                 hint,
                 reply_route,
             };

@@ -43,7 +43,7 @@ impl RecoveryExt {
                 let msg = RecMsg::Exchange {
                     inc,
                     round: r,
-                    view: rec.view.clone(),
+                    view: Box::new(rec.view.clone()),
                     hint: rec.bound,
                     reply_route,
                 };

@@ -67,8 +67,10 @@ pub enum RecMsg {
         inc: u32,
         /// The dissemination round this vector belongs to.
         round: u32,
-        /// The sender's current view.
-        view: View,
+        /// The sender's current view (boxed: a `View` holds 1024-bit
+        /// node sets, and inlining it would inflate every `RecMsg` — and
+        /// every packet payload carrying one — to its size).
+        view: Box<View>,
         /// The sender's round bound, once known (the BFT hint of §4.3).
         hint: Option<u32>,
         /// Source route back to the sender (lets receivers adopt previously
@@ -144,7 +146,7 @@ mod tests {
         let ex = RecMsg::Exchange {
             inc: 9,
             round: 1,
-            view: View::new(),
+            view: Box::new(View::new()),
             hint: None,
             reply_route: vec![],
         };

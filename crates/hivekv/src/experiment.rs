@@ -46,6 +46,10 @@ pub struct KvStats {
     pub lat_unaffected_ok: LatencyHistogram,
     /// Arrival-to-error latency of failed requests.
     pub lat_err: LatencyHistogram,
+    /// Latency samples clamped to 0ns because completion preceded the
+    /// recorded arrival — a scheduling bug, surfaced as the
+    /// `kv-latency-sane` invariant rather than silently hidden.
+    pub clamped_latency: u64,
     /// Simulated duration of the run.
     pub duration_ns: u64,
 }
@@ -384,6 +388,7 @@ impl PreparedKv {
             lat_ok: LatencyHistogram::new(),
             lat_unaffected_ok: LatencyHistogram::new(),
             lat_err: LatencyHistogram::new(),
+            clamped_latency: 0,
             duration_ns: self.m.now().as_nanos(),
         };
         let now = self.m.now();
@@ -405,6 +410,7 @@ impl PreparedKv {
             stats.lat_ok.merge(&s.lat_ok);
             stats.lat_unaffected_ok.merge(&s.lat_unaffected_ok);
             stats.lat_err.merge(&s.lat_err);
+            stats.clamped_latency += s.clamped_latency;
             if !alive {
                 // Clients of a dead cell's shard: everything budgeted but
                 // unresolved is a user-visible error.
@@ -464,10 +470,25 @@ impl PreparedKv {
     ///   request budget, requests to never-affected chunks saw zero
     ///   errors, and their worst-case latency stayed under the SLO
     ///   ceiling.
+    /// * `kv-latency-sane` — no latency sample was clamped to 0ns by a
+    ///   completion that preceded its recorded arrival.
     pub fn kv_checks(&self, finished: bool, faulted: bool, stats: &KvStats) -> Vec<KvCheck> {
         let mut out = Vec::new();
         let failed_cells = self.layout.failed_cells(&self.m.st().failed_nodes);
         let now_ns = self.m.now().as_nanos();
+
+        // Latency sanity: a completion earlier than its arrival means shard
+        // scheduling went backwards; the histograms clamp the sample to 0ns
+        // but the clamp count turns it into a campaign-visible violation.
+        if stats.clamped_latency > 0 {
+            out.push(KvCheck {
+                name: "kv-latency-sane",
+                details: format!(
+                    "{} latency sample(s) clamped to 0ns (completion before arrival)",
+                    stats.clamped_latency
+                ),
+            });
+        }
 
         // Data loss accounting.
         if self.directory.chunks_lost > 0 && failed_cells.len() < self.kv.replication {

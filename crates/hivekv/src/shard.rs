@@ -98,6 +98,11 @@ pub struct ShardStats {
     pub lat_unaffected_ok: LatencyHistogram,
     /// Latency from arrival to error for failed requests.
     pub lat_err: LatencyHistogram,
+    /// Latency samples whose completion time preceded the recorded arrival
+    /// (clamped to 0ns). Always 0 in a healthy run: a nonzero count means
+    /// the shard's scheduling went backwards in time, which previously was
+    /// silently hidden by the clamp.
+    pub clamped_latency: u64,
 }
 
 impl ShardStats {
@@ -113,7 +118,22 @@ impl ShardStats {
             lat_ok: LatencyHistogram::new(),
             lat_unaffected_ok: LatencyHistogram::new(),
             lat_err: LatencyHistogram::new(),
+            clamped_latency: 0,
         }
+    }
+
+    /// Latency from `arrival_ns` to `now_ns`, counting (and debug-asserting
+    /// against) samples where completion precedes arrival instead of letting
+    /// `saturating_sub` silently record 0ns.
+    fn latency_since(&mut self, now_ns: u64, arrival_ns: u64) -> SimDuration {
+        debug_assert!(
+            now_ns >= arrival_ns,
+            "request completed at {now_ns}ns before its arrival at {arrival_ns}ns"
+        );
+        if now_ns < arrival_ns {
+            self.clamped_latency += 1;
+        }
+        SimDuration::from_nanos(now_ns.saturating_sub(arrival_ns))
     }
 
     /// Requests resolved either way.
@@ -295,9 +315,8 @@ impl KvShard {
                     self.stats.errors += 1;
                     self.stats.lost_chunk_errors += 1;
                     self.stats.chunk_errors[chunk as usize] += 1;
-                    self.stats
-                        .lat_err
-                        .record(SimDuration::from_nanos(now_ns.saturating_sub(arrival)));
+                    let lat = self.stats.latency_since(now_ns, arrival);
+                    self.stats.lat_err.record(lat);
                 }
             }
         }
@@ -305,7 +324,7 @@ impl KvShard {
 
     fn finish_request(&mut self, now_ns: u64, ok: bool) {
         let req = self.active.take().expect("active request");
-        let lat = SimDuration::from_nanos(now_ns.saturating_sub(req.arrival_ns));
+        let lat = self.stats.latency_since(now_ns, req.arrival_ns);
         if ok {
             self.stats.ok += 1;
             self.stats.lat_ok.record(lat);

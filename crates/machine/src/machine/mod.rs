@@ -35,11 +35,13 @@ mod coh;
 mod inject;
 mod proc;
 mod recovery;
+mod sharded;
 mod stats;
 #[cfg(test)]
 mod tests;
 mod world;
 
+pub use sharded::ShardPlan;
 pub use world::MachineWorld;
 
 use crate::fault::FaultSpec;

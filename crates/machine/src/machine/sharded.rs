@@ -1,0 +1,572 @@
+//! The sharded (intra-run parallel) machine executor.
+//!
+//! [`Machine::run_until_sharded`] partitions the mesh into contiguous
+//! router regions ([`RegionMap`]) and advances them in conservative
+//! lookahead windows on a [`ShardSim`]: each region owns a fabric replica
+//! plus the nodes attached to its routers, and packets crossing a region
+//! boundary travel through the shard mailboxes as
+//! [`BoundaryHop`]s, merged deterministically at each window barrier.
+//!
+//! ## Determinism contract
+//!
+//! The *shard plan* — the region count — is part of the run's identity:
+//! two runs with the same plan dispatch the same events in the same
+//! order and produce bit-identical traces **for any worker count**,
+//! because every control decision below (serial-vs-sharded legs, stretch
+//! stops, hysteresis) depends only on the event stream, never on thread
+//! timing. A plan with a different region count is a *different*
+//! (equally valid) discretization: boundary handoffs apply at window
+//! barriers, deferring cross-region deliveries and extension calls by at
+//! most one lookahead window relative to the serial engine.
+//!
+//! ## Structure
+//!
+//! Machine events classify by owner: fabric events belong to the region
+//! of their queue, node events to the region of their node, and the
+//! *global* events — fault injection, the heartbeat audit, extension
+//! events — to no region at all. Globals always run on the serial
+//! engine: the executor alternates *serial legs* (run whenever a global
+//! is imminent) with *sharded stretches* (windows strictly before the
+//! next global). Extension calls raised inside a stretch (timeouts,
+//! truncated packets, recovery messages) are captured by [`DeferExt`]
+//! and replayed serially at the stretch fold, at most one window late;
+//! a stretch stops at the first barrier that observes a deferred call,
+//! so recovery work never stalls behind a long stretch.
+
+use super::{Ev, Extension, Machine, MachineState, MachineWorld};
+use crate::node::NodeCtx;
+use crate::params::MachineParams;
+use crate::payload::Payload;
+use crate::workload::Idle;
+use flash_coherence::{MemLayout, LINES_PER_PAGE};
+use flash_magic::Trigger;
+use flash_net::{BoundaryHop, NetEv, NodeId, RegionMap};
+use flash_sim::{
+    Counters, DetRng, RunOutcome, Scheduler, ShardControl, ShardCtx, ShardHook, ShardSim,
+    ShardWorld, SimDuration, SimTime, World,
+};
+
+/// Windows a stretch must survive to be considered profitable; stopping
+/// earlier (a deferred trigger, an imminent global) charges the serial
+/// penalty so unfold/fold overhead is not paid again immediately.
+const MIN_PROFITABLE_WINDOWS: u64 = 16;
+/// Serial grace around a global event, in lookahead windows: a global
+/// closer than this to the next pending event runs on a serial leg that
+/// extends this far past it, absorbing bursts of near-in-time globals.
+const GLOBAL_GRACE_WINDOWS: u64 = 64;
+/// Serial penalty after an unprofitable stretch, in lookahead windows.
+const SERIAL_PENALTY_WINDOWS: u64 = 128;
+
+/// How a [`Machine`] run is sharded.
+///
+/// `regions` fixes the event-order contract — it is part of the run's
+/// identity, like the seed. `workers` only multiplexes regions across OS
+/// threads and never affects the result: any worker count replays
+/// bit-identically for a fixed region count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of mesh regions (shards). Clamped to the node count; `1`
+    /// falls back to the serial engine.
+    pub regions: usize,
+    /// Worker threads multiplexing the regions; clamped to `[1, regions]`.
+    pub workers: usize,
+}
+
+impl ShardPlan {
+    /// A plan with the given region and worker counts (both at least 1).
+    pub fn new(regions: usize, workers: usize) -> Self {
+        assert!(regions > 0, "need at least one region");
+        assert!(workers > 0, "need at least one worker");
+        ShardPlan { regions, workers }
+    }
+}
+
+/// An extension call captured inside a sharded stretch, replayed on the
+/// serial engine at the stretch fold.
+#[derive(Clone, Debug)]
+enum DeferredCall<X: Extension> {
+    /// `Extension::on_trigger`.
+    Trigger {
+        at: SimTime,
+        node: NodeId,
+        trig: Trigger,
+    },
+    /// `Extension::on_recovery_msg`.
+    RecoveryMsg {
+        at: SimTime,
+        node: NodeId,
+        from: NodeId,
+        msg: X::Msg,
+    },
+    /// `Extension::on_event`.
+    Event { at: SimTime, ev: X::Ev },
+}
+
+impl<X: Extension> DeferredCall<X> {
+    fn at(&self) -> SimTime {
+        match self {
+            DeferredCall::Trigger { at, .. }
+            | DeferredCall::RecoveryMsg { at, .. }
+            | DeferredCall::Event { at, .. } => *at,
+        }
+    }
+}
+
+/// The extension stand-in a region replica runs with: it records every
+/// call the dispatch loop would make into the real extension, for serial
+/// replay at the fold. The real extension never enters a shard, so its
+/// state needs no forking or merging.
+///
+/// `unnoticed_failure` keeps the default `false`; this is safe because
+/// heartbeat events are global and never dispatch inside a shard.
+#[derive(Debug)]
+struct DeferExt<X: Extension> {
+    deferred: Vec<DeferredCall<X>>,
+    _ext: std::marker::PhantomData<fn() -> X>,
+}
+
+impl<X: Extension> DeferExt<X> {
+    fn new() -> Self {
+        DeferExt {
+            deferred: Vec::new(),
+            _ext: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<X: Extension> Extension for DeferExt<X> {
+    type Msg = X::Msg;
+    type Ev = X::Ev;
+
+    fn on_trigger(
+        &mut self,
+        _st: &mut MachineState<Self::Msg>,
+        node: NodeId,
+        trig: Trigger,
+        sched: &mut Scheduler<'_, Ev<Self::Ev>>,
+    ) {
+        self.deferred.push(DeferredCall::Trigger {
+            at: sched.now(),
+            node,
+            trig,
+        });
+    }
+
+    fn on_event(
+        &mut self,
+        _st: &mut MachineState<Self::Msg>,
+        ev: Self::Ev,
+        sched: &mut Scheduler<'_, Ev<Self::Ev>>,
+    ) {
+        self.deferred.push(DeferredCall::Event {
+            at: sched.now(),
+            ev,
+        });
+    }
+
+    fn on_recovery_msg(
+        &mut self,
+        _st: &mut MachineState<Self::Msg>,
+        at: NodeId,
+        from: NodeId,
+        msg: Self::Msg,
+        sched: &mut Scheduler<'_, Ev<Self::Ev>>,
+    ) {
+        self.deferred.push(DeferredCall::RecoveryMsg {
+            at: sched.now(),
+            node: at,
+            from,
+            msg,
+        });
+    }
+}
+
+/// Inert stand-ins for node slots a region replica does not own.
+///
+/// Shard dispatch only ever touches a region's own nodes, so foreign
+/// slots — and the base machine's slots, while its real nodes are out on
+/// loan to the shardlets — only need to keep `Vec` indexing by `NodeId`
+/// intact. Built over a one-node, one-line memory layout so the
+/// directory, cache and firewall allocations are negligible (the
+/// layout keeps one page per node — the firewall's alignment floor).
+fn placeholder_nodes<R>(n_nodes: usize) -> Vec<NodeCtx<R>> {
+    let mut params = MachineParams::tiny();
+    params.n_nodes = 1;
+    params.l2_mb = 128.0 / (1024.0 * 1024.0); // one cache line
+    let layout = MemLayout::new(1, LINES_PER_PAGE);
+    (0..n_nodes)
+        .map(|n| {
+            NodeCtx::new(
+                NodeId(n as u16),
+                &params,
+                layout,
+                Box::new(Idle),
+                DetRng::new(0),
+            )
+        })
+        .collect()
+}
+
+/// One region's slice of the machine: a full [`MachineWorld`] whose
+/// fabric is a region replica and whose extension defers. Only events
+/// owned by the region are ever dispatched here, so only region-owned
+/// node and fabric state diverges from the base machine — exactly the
+/// state the fold harvests.
+struct Shardlet<X: Extension> {
+    world: MachineWorld<DeferExt<X>>,
+    /// Events dispatched, for the engine's budget accounting.
+    events: u64,
+}
+
+impl<X: Extension> ShardWorld for Shardlet<X>
+where
+    X::Msg: Send,
+    X::Ev: Send,
+{
+    type Ev = Ev<X::Ev>;
+    type Handoff = BoundaryHop<Payload<X::Msg>>;
+
+    fn dispatch(&mut self, ev: Self::Ev, ctx: &mut ShardCtx<'_, Self::Ev, Self::Handoff>) {
+        self.events += 1;
+        // Only fabric events can emit boundary hops (they originate in
+        // packet arrival handling).
+        let is_net = matches!(ev, Ev::Net(_));
+        {
+            let mut sched = ctx.scheduler();
+            self.world.dispatch(ev, &mut sched);
+        }
+        if is_net {
+            for (dst, hop) in self.world.st.fabric.take_boundary_hops() {
+                let at = hop.at();
+                ctx.send(usize::from(dst), at, hop);
+            }
+        }
+    }
+
+    fn apply_handoff(
+        &mut self,
+        _at: SimTime,
+        h: Self::Handoff,
+        ctx: &mut ShardCtx<'_, Self::Ev, Self::Handoff>,
+    ) {
+        // Applied at the window barrier: the fabric places the packet as
+        // a local arrival at `ctx.now()` (the window end), a skew of at
+        // most one lookahead past its nominal transit time.
+        let now = ctx.now();
+        debug_assert!(self.world.net_out.is_empty() && self.world.deliveries.is_empty());
+        let mut net_out = std::mem::take(&mut self.world.net_out);
+        let mut deliveries = std::mem::take(&mut self.world.deliveries);
+        self.world.st.fabric.apply_boundary_hop(
+            h,
+            now,
+            &mut net_out,
+            &mut deliveries,
+            &mut self.world.st.obs,
+        );
+        for (d, e) in net_out.drain(..) {
+            ctx.after(d, Ev::Net(e));
+        }
+        for note in deliveries.drain(..) {
+            let n = note.node.0;
+            let t = self.world.st.nodes[usize::from(n)]
+                .occupancy
+                .busy_until()
+                .max(now);
+            let mut sched = ctx.scheduler();
+            self.world.wake_node(n, t, &mut sched);
+        }
+        self.world.net_out = net_out;
+        self.world.deliveries = deliveries;
+    }
+}
+
+/// The region owning an event, or `None` for the global events that only
+/// the serial engine may dispatch.
+fn region_of<E>(ev: &Ev<E>, map: &RegionMap) -> Option<usize> {
+    match ev {
+        Ev::Net(NetEv::TryMove(qr, _) | NetEv::Arrived(qr, _)) => {
+            Some(usize::from(map.of_queue(*qr)))
+        }
+        Ev::NodeWake(n)
+        | Ev::ProcNext(n)
+        | Ev::Timeout { node: n, .. }
+        | Ev::NakRetry { node: n, .. }
+        | Ev::Pump { node: n, .. }
+        | Ev::TriggerNow { node: n, .. } => Some(usize::from(map.of_node(NodeId(*n)))),
+        Ev::Fault(_) | Ev::Heartbeat { .. } | Ev::Ext(_) => None,
+    }
+}
+
+/// Barrier observer for one stretch: counts windows, enforces the event
+/// budget, and stops the stretch at the first barrier where any shard
+/// deferred an extension call.
+struct StretchHook {
+    windows: u64,
+    events_scratch: u64,
+    event_budget: u64,
+    defer_stop: bool,
+    budget_stop: bool,
+}
+
+impl<X: Extension> ShardHook<Shardlet<X>> for StretchHook {
+    fn per_shard(&mut self, _shard: usize, world: &mut Shardlet<X>) {
+        self.events_scratch += world.events;
+        if !world.world.ext.deferred.is_empty() {
+            self.defer_stop = true;
+        }
+    }
+
+    fn control(&mut self, _window_end: SimTime, _next_event: Option<SimTime>) -> ShardControl {
+        self.windows += 1;
+        let seen = self.events_scratch;
+        self.events_scratch = 0;
+        if self.defer_stop {
+            return ShardControl::Stop;
+        }
+        if seen >= self.event_budget {
+            self.budget_stop = true;
+            return ShardControl::Stop;
+        }
+        ShardControl::Continue
+    }
+}
+
+impl<X: Extension> Machine<X>
+where
+    X::Msg: Send,
+    X::Ev: Send,
+{
+    /// Runs until the horizon passes or the event queue drains, like
+    /// [`Machine::run_until`], but advances independent mesh regions in
+    /// parallel where the pending work allows it.
+    ///
+    /// The trace produced is a function of `(machine, plan.regions)`
+    /// alone: any `plan.workers` — including 1 — replays bit-identically.
+    /// See the [module docs](self) for the synchronization scheme and
+    /// the (bounded) ways a sharded trace may differ from the serial
+    /// engine's.
+    pub fn run_until_sharded(&mut self, horizon: SimTime, plan: ShardPlan) -> RunOutcome {
+        let n_nodes = self.world.st.num_nodes();
+        if plan.regions.min(n_nodes) <= 1 {
+            return self.run_until(horizon);
+        }
+        let lookahead_ns = self.world.st.fabric.min_region_lookahead_ns().max(1);
+        let lookahead = SimDuration::from_nanos(lookahead_ns);
+        let grace = SimDuration::from_nanos(lookahead_ns.saturating_mul(GLOBAL_GRACE_WINDOWS));
+        let penalty = SimDuration::from_nanos(lookahead_ns.saturating_mul(SERIAL_PENALTY_WINDOWS));
+        let map = RegionMap::stripes(self.world.st.fabric.num_routers(), plan.regions);
+        let regions = usize::from(map.n_regions());
+        // Events earlier than this run serially: charged after a stretch
+        // stops too quickly to amortize its unfold/fold cost.
+        let mut serial_until = SimTime::ZERO;
+        // Consecutive serial legs double their span (capped): during a
+        // global-dense period — e.g. the detection phase, where recovery
+        // timers keep a global event within every grace window — fixed
+        // grace-sized legs would re-drain the whole pending queue once
+        // per ~grace of simulated time, an O(pending * period / grace)
+        // churn that dwarfs the events actually executed. Escalating
+        // legs make such a period cost O(pending * log(period / grace))
+        // drains. Leg boundaries never reorder serial execution, so this
+        // is pure scheduling policy: workers see the same trace.
+        let mut leg_streak: u32 = 0;
+
+        loop {
+            if self.engine.pending() == 0 {
+                return RunOutcome::Drained;
+            }
+            self.sample_queue_depth();
+            let events = self.engine.drain_pending();
+            let t0 = events[0].0;
+            if t0 > horizon {
+                for (t, ev) in events {
+                    self.engine.schedule_at(t, ev);
+                }
+                return self.engine.run_batched(&mut self.world, horizon);
+            }
+            // Globals pop in time order, so the first one found is the
+            // earliest.
+            let global = events
+                .iter()
+                .find(|(_, ev)| region_of(ev, &map).is_none())
+                .map(|&(t, _)| t);
+            let global_near = global.is_some_and(|g| g <= t0 + grace);
+            if global_near || t0 < serial_until {
+                let mut leg_end = SimTime::ZERO;
+                if let Some(g) = global {
+                    if g <= t0 + grace {
+                        let span = SimDuration::from_nanos(
+                            lookahead_ns
+                                .saturating_mul(GLOBAL_GRACE_WINDOWS)
+                                .saturating_mul(1 << leg_streak.min(7)),
+                        );
+                        leg_end = leg_end.max(g + span);
+                    }
+                }
+                if t0 < serial_until {
+                    leg_end = leg_end.max(serial_until);
+                }
+                let leg_end = leg_end.min(horizon);
+                for (t, ev) in events {
+                    self.engine.schedule_at(t, ev);
+                }
+                leg_streak = leg_streak.saturating_add(1);
+                match self.engine.run_batched(&mut self.world, leg_end) {
+                    RunOutcome::HorizonReached if leg_end < horizon => continue,
+                    out => return out,
+                }
+            }
+
+            // --- Sharded stretch ---
+            // Windows end strictly before the first global, so no shard
+            // event at or beyond its time ever runs out of order with it.
+            leg_streak = 0;
+            let stretch_horizon = match global {
+                Some(g) => horizon.min(SimTime::from_nanos(g.as_nanos() - 1)),
+                None => horizon,
+            };
+            let mut sim: ShardSim<Ev<X::Ev>, BoundaryHop<Payload<X::Msg>>> =
+                ShardSim::new(regions, lookahead);
+            for (t, ev) in events {
+                match region_of(&ev, &map) {
+                    Some(r) => sim.seed(r, t, ev),
+                    None => self.engine.schedule_at(t, ev),
+                }
+            }
+            // Replicas are cloned from a hollowed template: cloning the
+            // full state per region would copy every node's directory and
+            // cache `regions` times per stretch, which dominates the run.
+            // Instead the heavy per-node state is *moved* into its owning
+            // shardlet (dispatch only ever touches a region's own nodes)
+            // and inert placeholders keep the `NodeId -> index` mapping
+            // intact in the foreign slots; the fold swaps the owned nodes
+            // back into the base machine.
+            let real_nodes = std::mem::take(&mut self.world.st.nodes);
+            let hollow_obs = self.world.st.obs.like();
+            let base_obs = std::mem::replace(&mut self.world.st.obs, hollow_obs);
+            let oracle_delta = self.world.st.oracle.fork_delta();
+            let base_oracle = std::mem::replace(&mut self.world.st.oracle, oracle_delta);
+            let base_counters = std::mem::replace(&mut self.world.st.counters, Counters::new());
+            let mut shardlets: Vec<Shardlet<X>> = (0..regions)
+                .map(|r| {
+                    let mut st = self.world.st.clone();
+                    st.fabric.enter_region(map.clone(), r as u16);
+                    st.nodes = placeholder_nodes(n_nodes);
+                    Shardlet {
+                        world: MachineWorld {
+                            st,
+                            ext: DeferExt::new(),
+                            net_out: Vec::new(),
+                            deliveries: Vec::new(),
+                            wake_at: self.world.wake_at.clone(),
+                        },
+                        events: 0,
+                    }
+                })
+                .collect();
+            self.world.st.nodes = placeholder_nodes(n_nodes);
+            for (n, node) in real_nodes.into_iter().enumerate() {
+                let r = usize::from(map.of_node(NodeId(n as u16)));
+                shardlets[r].world.st.nodes[n] = node;
+            }
+            self.world.st.obs = base_obs;
+            self.world.st.oracle = base_oracle;
+            self.world.st.counters = base_counters;
+            let mut hook = StretchHook {
+                windows: 0,
+                events_scratch: 0,
+                event_budget: self.engine.remaining_budget(),
+                defer_stop: false,
+                budget_stop: false,
+            };
+            let outcome = sim.run(&mut shardlets, stretch_horizon, plan.workers, &mut hook);
+            let _ = outcome;
+
+            // --- Fold ---
+            self.engine.add_processed(sim.events_processed());
+            // Leftover shard events are all at or beyond the last window
+            // end, so the clock can jump there before they are re-queued.
+            self.engine.skip_to(sim.now());
+
+            let mut fabrics = Vec::with_capacity(regions);
+            let mut recorders = Vec::with_capacity(regions);
+            let mut deferred: Vec<(SimTime, usize, usize, DeferredCall<X>)> = Vec::new();
+            for (r, sl) in shardlets.into_iter().enumerate() {
+                let MachineWorld {
+                    st,
+                    ext,
+                    wake_at: part_wake,
+                    ..
+                } = sl.world;
+                let MachineState {
+                    fabric,
+                    mut nodes,
+                    oracle,
+                    counters,
+                    obs,
+                    next_unc_tag,
+                    ..
+                } = st;
+                for n in 0..n_nodes {
+                    if usize::from(map.of_node(NodeId(n as u16))) == r {
+                        std::mem::swap(&mut self.world.st.nodes[n], &mut nodes[n]);
+                        self.world.wake_at[n] = part_wake[n];
+                    }
+                }
+                self.world.st.counters.merge(&counters);
+                self.world.st.oracle.merge_delta(&oracle);
+                self.world.st.next_unc_tag = self.world.st.next_unc_tag.max(next_unc_tag);
+                fabrics.push(fabric);
+                recorders.push(obs);
+                for (idx, call) in ext.deferred.into_iter().enumerate() {
+                    deferred.push((call.at(), r, idx, call));
+                }
+            }
+            self.world.st.fabric.meld_regions(fabrics, &map);
+            self.world.st.obs.absorb(&recorders);
+
+            // Re-queue leftovers in the canonical merge order: time, then
+            // region, then local pop order (the drain is already in local
+            // pop order and the sort is stable).
+            let mut leftovers = sim.drain();
+            leftovers.sort_by_key(|e| (e.1, e.0));
+            for (_, t, ev) in leftovers {
+                self.engine.schedule_at(t, ev);
+            }
+
+            // Replay deferred extension calls serially, ordered by their
+            // capture key. They run at the fold instant (the handlers see
+            // `sched.now()` = the stretch's last window end), at most one
+            // window after the call would have run serially.
+            deferred.sort_by_key(|e| (e.0, e.1, e.2));
+            if !deferred.is_empty() {
+                let Machine { world, engine } = self;
+                engine.with_scheduler(|sched| {
+                    for (_, _, _, call) in deferred {
+                        match call {
+                            DeferredCall::Trigger { node, trig, .. } => {
+                                world.ext.on_trigger(&mut world.st, node, trig, sched);
+                            }
+                            DeferredCall::RecoveryMsg {
+                                node, from, msg, ..
+                            } => {
+                                world
+                                    .ext
+                                    .on_recovery_msg(&mut world.st, node, from, msg, sched);
+                            }
+                            DeferredCall::Event { ev, .. } => {
+                                world.ext.on_event(&mut world.st, ev, sched);
+                            }
+                        }
+                    }
+                });
+            }
+
+            if hook.windows < MIN_PROFITABLE_WINDOWS {
+                serial_until = self.engine.now() + penalty;
+            }
+            if hook.budget_stop {
+                return RunOutcome::BudgetExhausted;
+            }
+        }
+    }
+}

@@ -51,7 +51,10 @@ pub enum OpResult {
 /// be checkpointed: a checkpoint snapshots every workload's cursor (ops
 /// remaining, results observed, internal counters) alongside the rest of the
 /// machine, and a forked run resumes from exactly that cursor.
-pub trait Workload: std::fmt::Debug {
+///
+/// Workloads must be [`Send`] so the sharded executor can move region
+/// replicas of the machine onto worker threads.
+pub trait Workload: std::fmt::Debug + Send {
     /// Produces the next operation for `node`.
     fn next_op(&mut self, node: NodeId, rng: &mut DetRng) -> ProcOp;
 

@@ -1,0 +1,136 @@
+//! Partitioning of the fabric into contiguous router regions for the
+//! sharded (intra-run parallel) simulator core.
+//!
+//! A [`RegionMap`] assigns every router — and the node attached to it —
+//! to one region. The sharded machine runs one fabric replica per region;
+//! packets that land on a router in another region are handed off through
+//! the shard mailboxes (see `Fabric` region mode) instead of being placed
+//! directly. The map is part of the shard *plan*: it depends only on the
+//! topology and the requested region count, never on the worker count, so
+//! the same plan replayed with any number of workers partitions events
+//! identically.
+
+use crate::fabric::QueueRef;
+use crate::ids::{NodeId, RouterId};
+
+/// Assignment of routers (and their attached nodes) to regions.
+///
+/// # Examples
+///
+/// ```
+/// use flash_net::{NodeId, RegionMap, RouterId};
+///
+/// let map = RegionMap::stripes(10, 4);
+/// assert_eq!(map.n_regions(), 4);
+/// assert_eq!(map.of_router(RouterId(0)), 0);
+/// assert_eq!(map.of_router(RouterId(9)), 3);
+/// assert_eq!(map.of_node(NodeId(5)), map.of_router(RouterId(5)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RegionMap {
+    of_router: Vec<u16>,
+    n_regions: u16,
+}
+
+impl RegionMap {
+    /// Splits `n_routers` routers into `n_regions` contiguous stripes of
+    /// near-equal size (the first `n_routers % n_regions` stripes take one
+    /// extra router). Every region is non-empty, so `n_regions` is clamped
+    /// to `n_routers`.
+    ///
+    /// Contiguous id stripes match the row-major node numbering of
+    /// [`crate::Mesh2D`], giving each region a compact block of mesh rows
+    /// and so few boundary links relative to its area.
+    pub fn stripes(n_routers: usize, n_regions: usize) -> RegionMap {
+        assert!(n_routers > 0, "cannot partition an empty fabric");
+        assert!(n_regions > 0, "need at least one region");
+        let n_regions = n_regions.min(n_routers);
+        let base = n_routers / n_regions;
+        let extra = n_routers % n_regions;
+        let mut of_router = Vec::with_capacity(n_routers);
+        for region in 0..n_regions {
+            let len = base + usize::from(region < extra);
+            of_router.extend(std::iter::repeat_n(region as u16, len));
+        }
+        debug_assert_eq!(of_router.len(), n_routers);
+        RegionMap {
+            of_router,
+            n_regions: n_regions as u16,
+        }
+    }
+
+    /// Number of regions.
+    pub fn n_regions(&self) -> u16 {
+        self.n_regions
+    }
+
+    /// Number of routers covered by the map.
+    pub fn n_routers(&self) -> usize {
+        self.of_router.len()
+    }
+
+    /// The region of a router.
+    pub fn of_router(&self, r: RouterId) -> u16 {
+        self.of_router[r.index()]
+    }
+
+    /// The region of a node. Node `i` attaches to router `i`, so a node
+    /// always shares its router's region and node-to-router injection
+    /// never crosses a region boundary.
+    pub fn of_node(&self, n: NodeId) -> u16 {
+        self.of_router[n.index()]
+    }
+
+    /// The region owning a fabric queue: the router holding the queue, or
+    /// the injecting node's router.
+    pub fn of_queue(&self, qr: QueueRef) -> u16 {
+        match qr {
+            QueueRef::Out { router, .. } => self.of_router[router as usize],
+            QueueRef::Inj { node } => self.of_router[node as usize],
+        }
+    }
+
+    /// Iterates the routers of one region (ascending id order).
+    pub fn routers_of(&self, region: u16) -> impl Iterator<Item = RouterId> + '_ {
+        self.of_router
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &reg)| reg == region)
+            .map(|(i, _)| RouterId(i as u16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripes_cover_all_routers_contiguously() {
+        for (n_routers, n_regions) in [(8, 1), (8, 3), (8, 8), (7, 2), (128, 8), (3, 16)] {
+            let map = RegionMap::stripes(n_routers, n_regions);
+            assert_eq!(map.n_routers(), n_routers);
+            assert!(map.n_regions() as usize <= n_routers);
+            // Regions are non-empty, contiguous and sized within one of
+            // each other.
+            let mut sizes = vec![0usize; map.n_regions() as usize];
+            let mut last = 0u16;
+            for i in 0..n_routers {
+                let r = map.of_router(RouterId(i as u16));
+                assert!(r >= last, "regions must be contiguous stripes");
+                last = r;
+                sizes[r as usize] += 1;
+            }
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(*min >= 1);
+            assert!(max - min <= 1, "stripes must be balanced: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn queue_region_follows_owner() {
+        let map = RegionMap::stripes(6, 2);
+        assert_eq!(map.of_queue(QueueRef::Out { router: 4, nbr: 0 }), 1);
+        assert_eq!(map.of_queue(QueueRef::Inj { node: 1 }), 0);
+        assert_eq!(map.routers_of(0).count() + map.routers_of(1).count(), 6);
+    }
+}

@@ -302,4 +302,84 @@ mod tests {
         assert!(alpha < zeta, "counters must be name-sorted: {a}");
         assert!(a.contains("\"total\": 1"), "{a}");
     }
+
+    /// Cross-check pinning [`Quantiles::of`] to the one canonical
+    /// nearest-rank implementation (`LatencyHistogram::quantile_upper_bound`
+    /// in `flash-sim`): for random sample sets, every extracted field must
+    /// equal an independent from-scratch nearest-rank-over-buckets
+    /// computation. If either side ever grows its own variant of the bucket
+    /// math, the KV SLO sheets and the sim-side stats drift apart — this
+    /// test is the tripwire.
+    #[test]
+    fn quantiles_match_independent_nearest_rank_reference() {
+        use flash_sim::DetRng;
+
+        // From-scratch reference: bucket i covers [2^i, 2^(i+1)) ns with
+        // bucket 0 covering [0,2); the q-quantile upper bound is the top
+        // edge of the bucket holding the ceil(q*total)-th sample.
+        fn reference(samples: &[u64], q: f64) -> u64 {
+            if samples.is_empty() {
+                return 0;
+            }
+            let mut buckets = [0u64; 64];
+            for &ns in samples {
+                let b = if ns < 2 {
+                    0
+                } else {
+                    63 - ns.leading_zeros() as usize
+                };
+                buckets[b] += 1;
+            }
+            let target = ((samples.len() as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+            let mut seen = 0;
+            for (i, &n) in buckets.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    return if i >= 63 {
+                        u64::MAX
+                    } else {
+                        (1u64 << (i + 1)) - 1
+                    };
+                }
+            }
+            unreachable!("total > 0 but no bucket reached the target rank")
+        }
+
+        let mut rng = DetRng::new(0x51ab);
+        for case in 0..40u64 {
+            let n = rng.below(300);
+            let mut h = LatencyHistogram::new();
+            let mut samples = Vec::new();
+            for _ in 0..n {
+                // Spread across the full bucket range, including 0 and the
+                // saturating top bucket.
+                let ns = match rng.below(4) {
+                    0 => rng.below(4),
+                    1 => rng.below(5_000),
+                    2 => rng.below(10_000_000_000),
+                    _ => u64::MAX - rng.below(1_000),
+                };
+                samples.push(ns);
+                h.record(SimDuration::from_nanos(ns));
+            }
+            let got = Quantiles::of(&h);
+            assert_eq!(got.total, n, "case {case}");
+            for (field, q) in [
+                (got.p50_ns, 0.50),
+                (got.p95_ns, 0.95),
+                (got.p99_ns, 0.99),
+                (got.p999_ns, 0.999),
+                (got.max_ns, 1.0),
+            ] {
+                assert_eq!(field, reference(&samples, q), "case {case} q={q}");
+                // And the canonical implementation both sides share:
+                assert_eq!(
+                    field,
+                    h.quantile_upper_bound(q).as_nanos(),
+                    "case {case} q={q}: Quantiles::of drifted from the \
+                     canonical quantile_upper_bound"
+                );
+            }
+        }
+    }
 }

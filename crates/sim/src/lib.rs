@@ -48,6 +48,7 @@
 mod engine;
 mod queue;
 mod rng;
+mod shard;
 mod stats;
 mod time;
 mod trace;
@@ -55,6 +56,7 @@ mod trace;
 pub use engine::{Engine, RunOutcome, Scheduler, World};
 pub use queue::EventQueue;
 pub use rng::DetRng;
+pub use shard::{NoHook, ShardControl, ShardCtx, ShardHook, ShardRunOutcome, ShardSim, ShardWorld};
 pub use stats::{Counters, LatencyHistogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceBuffer;

@@ -155,22 +155,41 @@ impl<E> EventQueue<E> {
         self.pushed += 1;
         let tick = time.as_nanos();
         if self.ring_len == 0 {
-            // The ring is empty, so the window can move anywhere; anchor it
-            // at this event.
-            self.base_tick = tick;
-            self.scan_tick = tick;
-        }
-        if self.in_window(tick) {
-            let idx = (tick & RING_MASK) as usize;
-            self.ring[idx].push_back((seq, event));
-            self.occ[idx >> 6] |= 1 << (idx & 63);
-            self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
-            self.ring_len += 1;
-            if tick < self.scan_tick {
-                self.scan_tick = tick;
+            // The ring is empty, so the window may move anywhere. Re-anchor
+            // it at the earliest pending time — unless this push lands beyond
+            // even the re-anchored window. Anchoring the window at a
+            // far-future tick would strand it out there (a cold bucket touch
+            // now, and every nearer push forced onto the heap until the
+            // stranded event pops), so far-horizon pushes skip the ring
+            // entirely and the empty ring keeps pops heap-only.
+            let anchor = match self.overflow.peek() {
+                Some(top) => top.time.as_nanos().min(tick),
+                None => tick,
+            };
+            if tick - anchor >= RING_BUCKETS as u64 {
+                self.overflow.push(Entry { time, seq, event });
+                return;
             }
+            self.base_tick = anchor;
+            self.insert_ring(tick, seq, event);
+        } else if self.in_window(tick) {
+            self.insert_ring(tick, seq, event);
         } else {
             self.overflow.push(Entry { time, seq, event });
+        }
+    }
+
+    /// Inserts into the ring; `tick` must lie within the active window.
+    #[inline]
+    fn insert_ring(&mut self, tick: u64, seq: u64, event: E) {
+        debug_assert!(self.in_window(tick));
+        let idx = (tick & RING_MASK) as usize;
+        self.ring[idx].push_back((seq, event));
+        self.occ[idx >> 6] |= 1 << (idx & 63);
+        self.summary[idx >> 12] |= 1 << ((idx >> 6) & 63);
+        self.ring_len += 1;
+        if self.ring_len == 1 || tick < self.scan_tick {
+            self.scan_tick = tick;
         }
     }
 

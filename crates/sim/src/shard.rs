@@ -1,0 +1,810 @@
+//! Conservative per-shard parallel event execution.
+//!
+//! [`ShardSim`] partitions a simulation's pending events across `S` shards,
+//! each owning its own two-level [`EventQueue`], and advances them in
+//! *conservative windows*: if `L` (the lookahead) is a lower bound on the
+//! latency of every cross-shard interaction, then all events in
+//! `[T, T + L)` — where `T` is the global minimum pending time — can be
+//! dispatched shard-locally in parallel without ever violating causal
+//! order, because anything a shard sends to a peer inside the window
+//! cannot take effect before the window ends.
+//!
+//! Cross-shard traffic travels through *mailboxes*: during a window each
+//! shard appends handoffs to its own outbox in dispatch order; at the
+//! window barrier the coordinator drains the outboxes in fixed shard order
+//! (source 0, 1, …, S−1, each in emit order) and applies them to the
+//! destination shards. Destination queues assign fresh `(time, seq)` keys
+//! in that drain order, so the merged order is the same deterministic
+//! tie-break the single-queue engine uses — and, crucially, it depends
+//! only on the shard layout, never on how many worker threads executed
+//! the windows. A 1-worker run and an N-worker run of the same shard
+//! layout are bit-identical.
+//!
+//! With `workers > 1`, shards are multiplexed across OS threads
+//! (round-robin by shard index); the barrier protocol keeps the windows
+//! aligned. `workers == 1` takes a plain sequential path with the same
+//! per-shard semantics.
+
+use crate::engine::Scheduler;
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+use std::sync::{Barrier, Mutex};
+
+/// Simulation state owned by one shard.
+///
+/// `Send` is required so shards can execute on worker threads. A shard
+/// world must only touch its own state during [`ShardWorld::dispatch`];
+/// everything destined for a peer shard goes through
+/// [`ShardCtx::send`], and must be timestamped at or beyond the current
+/// window's end (guaranteed naturally when the event models a physical
+/// interaction no faster than the lookahead).
+pub trait ShardWorld: Send {
+    /// The event type driving this shard.
+    type Ev: Send;
+    /// Cross-shard payload carried through the mailboxes.
+    type Handoff: Send;
+
+    /// Handles one shard-local event at time `ctx.now()`.
+    fn dispatch(&mut self, ev: Self::Ev, ctx: &mut ShardCtx<'_, Self::Ev, Self::Handoff>);
+
+    /// Applies one handoff sent by a peer shard, timestamped `at`
+    /// (`at` is never earlier than any event this shard has dispatched).
+    /// Called at the window barrier, in fixed source-shard order.
+    fn apply_handoff(
+        &mut self,
+        at: SimTime,
+        h: Self::Handoff,
+        ctx: &mut ShardCtx<'_, Self::Ev, Self::Handoff>,
+    );
+}
+
+/// Scheduling context handed to [`ShardWorld`] callbacks: local scheduling
+/// into the shard's own queue plus cross-shard sends into the mailbox.
+#[allow(missing_debug_implementations)]
+pub struct ShardCtx<'a, E, H> {
+    now: SimTime,
+    shard: usize,
+    window_end: SimTime,
+    queue: &'a mut EventQueue<E>,
+    outbox: &'a mut Vec<(usize, SimTime, H)>,
+    clamped: &'a mut u64,
+    stop_scratch: bool,
+}
+
+impl<'a, E, H> ShardCtx<'a, E, H> {
+    /// The current simulated time (the event's timestamp, or the window
+    /// end during handoff application).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The exclusive end of the current window — the time at which any
+    /// handoff sent from this dispatch will be applied by its
+    /// destination shard.
+    #[inline]
+    pub fn window_end(&self) -> SimTime {
+        self.window_end
+    }
+
+    /// The shard this context belongs to.
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Schedules a shard-local event at absolute time `at` (clamped to
+    /// `now` if in the past, mirroring [`Scheduler::at`]).
+    pub fn at(&mut self, at: SimTime, ev: E) {
+        if at < self.now {
+            *self.clamped += 1;
+        }
+        self.queue.push(at.max(self.now), ev);
+    }
+
+    /// Schedules a shard-local event `delay` after the current time.
+    pub fn after(&mut self, delay: SimDuration, ev: E) {
+        self.queue.push(self.now + delay, ev);
+    }
+
+    /// Sends a handoff to shard `dst`, stamped with its nominal time `at`.
+    ///
+    /// The handoff is merged at the window barrier: the destination's
+    /// [`ShardWorld::apply_handoff`] runs with `ctx.now()` at the window
+    /// end, and must not schedule anything earlier than that (shard-local
+    /// time is monotone). When `at` lands inside the window — a physical
+    /// interaction that completed mid-window, like a link transit that
+    /// started before the window opened — the destination applies it at
+    /// the barrier, a skew bounded by the lookahead. Handoffs *initiated*
+    /// inside the window always satisfy `at >= window_end` because the
+    /// lookahead lower-bounds cross-shard latency.
+    pub fn send(&mut self, dst: usize, at: SimTime, h: H) {
+        self.outbox.push((dst, at, h));
+    }
+
+    /// A plain [`Scheduler`] over the shard-local queue, for reusing
+    /// dispatch code written against the single-queue engine. Stop
+    /// requests are ignored (shards cannot stop the windowed run).
+    pub fn scheduler(&mut self) -> Scheduler<'_, E> {
+        Scheduler::over(self.now, self.queue, &mut self.stop_scratch, self.clamped)
+    }
+}
+
+/// Flow control returned by [`ShardHook::control`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardControl {
+    /// Keep running windows.
+    Continue,
+    /// Stop after this barrier; [`ShardSim::run`] returns
+    /// [`ShardRunOutcome::Stopped`].
+    Stop,
+}
+
+/// Why [`ShardSim::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardRunOutcome {
+    /// Every shard queue drained.
+    Drained,
+    /// The earliest pending event lies beyond the horizon.
+    HorizonReached,
+    /// The hook requested a stop.
+    Stopped,
+}
+
+/// Barrier-time observer: the executor's seam for harvesting per-shard
+/// side state (e.g. deferred global work) and deciding whether to keep
+/// running. All callbacks run on the coordinator thread with exclusive
+/// access, once per window, after the mailboxes have been merged.
+pub trait ShardHook<W> {
+    /// Called for each shard, in shard order.
+    fn per_shard(&mut self, _shard: usize, _world: &mut W) {}
+
+    /// Called once per window after every `per_shard` call. `next_event`
+    /// is the earliest pending time across all shards (`None` when
+    /// drained).
+    fn control(&mut self, _window_end: SimTime, _next_event: Option<SimTime>) -> ShardControl {
+        ShardControl::Continue
+    }
+}
+
+/// The no-op hook.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoHook;
+impl<W> ShardHook<W> for NoHook {}
+
+/// Per-shard execution state riding alongside the world.
+struct Cell<'w, W: ShardWorld> {
+    queue: EventQueue<W::Ev>,
+    world: &'w mut W,
+    outbox: Vec<(usize, SimTime, W::Handoff)>,
+    processed: u64,
+    clamped: u64,
+}
+
+impl<'w, W: ShardWorld> Cell<'w, W> {
+    /// Dispatches every pending event strictly before `window_end`.
+    fn run_window(&mut self, shard: usize, window_end: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= window_end {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked entry vanished");
+            self.processed += 1;
+            let mut ctx = ShardCtx {
+                now: t,
+                shard,
+                window_end,
+                queue: &mut self.queue,
+                outbox: &mut self.outbox,
+                clamped: &mut self.clamped,
+                stop_scratch: false,
+            };
+            self.world.dispatch(ev, &mut ctx);
+        }
+    }
+}
+
+/// The conservative sharded event engine: `S` per-shard [`EventQueue`]s
+/// advanced in lookahead windows, with deterministic fixed-order mailbox
+/// merges at each window barrier.
+///
+/// See the [module docs](self) for the synchronization argument. The
+/// executor seeds events with [`ShardSim::seed`], supplies one
+/// [`ShardWorld`] per shard to [`ShardSim::run`], and afterwards drains
+/// any undelivered events with [`ShardSim::drain`].
+#[derive(Debug)]
+pub struct ShardSim<E, H> {
+    queues: Vec<EventQueue<E>>,
+    lookahead: SimDuration,
+    now: SimTime,
+    processed: u64,
+    clamped: u64,
+    _handoff: std::marker::PhantomData<fn() -> H>,
+}
+
+impl<E: Send, H: Send> ShardSim<E, H> {
+    /// Creates an engine with `n_shards` empty shard queues and the given
+    /// lookahead window. `lookahead` must be at least 1ns (a zero window
+    /// cannot advance).
+    pub fn new(n_shards: usize, lookahead: SimDuration) -> Self {
+        assert!(n_shards > 0, "at least one shard");
+        assert!(
+            lookahead >= SimDuration::from_nanos(1),
+            "lookahead must be positive"
+        );
+        ShardSim {
+            queues: (0..n_shards).map(|_| EventQueue::new()).collect(),
+            lookahead,
+            now: SimTime::ZERO,
+            processed: 0,
+            clamped: 0,
+            _handoff: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Schedules an event into one shard's queue. Seeding order fixes the
+    /// same-instant tie-break, exactly as push order does on the single
+    /// queue.
+    pub fn seed(&mut self, shard: usize, at: SimTime, ev: E) {
+        self.queues[shard].push(at, ev);
+    }
+
+    /// The earliest pending time across all shards.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queues.iter().filter_map(|q| q.peek_time()).min()
+    }
+
+    /// Total pending events across all shards.
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Events dispatched across all `run` calls.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Clamped (past-time) schedules across all `run` calls.
+    pub fn clamped_schedules(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The clock: the end of the last completed window (or the horizon).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Removes and returns all pending events as `(shard, time, event)`,
+    /// each shard's slice in pop order. Merging by `(time, shard, seq)`
+    /// reconstructs the canonical fold order.
+    pub fn drain(&mut self) -> Vec<(usize, SimTime, E)> {
+        let mut out = Vec::with_capacity(self.pending());
+        for (s, q) in self.queues.iter_mut().enumerate() {
+            while let Some((t, ev)) = q.pop() {
+                out.push((s, t, ev));
+            }
+        }
+        out
+    }
+
+    /// Runs conservative windows until the queues drain, the horizon is
+    /// passed, or `hook` requests a stop. Events with timestamps
+    /// `<= horizon` are delivered. `workers` is clamped to `[1, n_shards]`;
+    /// any worker count yields a bit-identical execution.
+    pub fn run<W, K>(
+        &mut self,
+        worlds: &mut [W],
+        horizon: SimTime,
+        workers: usize,
+        hook: &mut K,
+    ) -> ShardRunOutcome
+    where
+        W: ShardWorld<Ev = E, Handoff = H>,
+        K: ShardHook<W>,
+    {
+        assert_eq!(worlds.len(), self.queues.len(), "one world per shard queue");
+        let workers = workers.clamp(1, self.queues.len());
+        // Move the queues into per-shard cells for the duration of the run.
+        let mut cells: Vec<Cell<'_, W>> = std::mem::take(&mut self.queues)
+            .into_iter()
+            .zip(worlds.iter_mut())
+            .map(|(queue, world)| Cell {
+                queue,
+                world,
+                outbox: Vec::new(),
+                processed: 0,
+                clamped: 0,
+            })
+            .collect();
+
+        let outcome = if workers == 1 {
+            self.run_sequential(&mut cells, horizon, hook)
+        } else {
+            self.run_threaded(&mut cells, horizon, workers, hook)
+        };
+
+        // Return the queues and fold the counters.
+        self.queues = cells
+            .iter_mut()
+            .map(|c| {
+                self.processed += c.processed;
+                self.clamped += c.clamped;
+                c.processed = 0;
+                c.clamped = 0;
+                std::mem::take(&mut c.queue)
+            })
+            .collect();
+        outcome
+    }
+
+    /// One window's bounds: `Some((start, exclusive_end))`, or the outcome
+    /// if the run is over.
+    fn window_bounds<W: ShardWorld<Ev = E, Handoff = H>>(
+        &self,
+        cells: &[Cell<'_, W>],
+        horizon: SimTime,
+    ) -> Result<(SimTime, SimTime), ShardRunOutcome> {
+        let Some(t) = cells.iter().filter_map(|c| c.queue.peek_time()).min() else {
+            return Err(ShardRunOutcome::Drained);
+        };
+        if t > horizon {
+            return Err(ShardRunOutcome::HorizonReached);
+        }
+        // Exclusive end: cap at horizon + 1ns so horizon-time events run.
+        let end = (t + self.lookahead).min(horizon + SimDuration::from_nanos(1));
+        Ok((t, end))
+    }
+
+    /// Merges every outbox in fixed shard order, applying handoffs to
+    /// their destination shards; then harvests via the hook. Returns the
+    /// hook's control decision. Coordinator-only.
+    fn barrier_merge<W, K>(
+        cells: &mut [Cell<'_, W>],
+        window_end: SimTime,
+        hook: &mut K,
+    ) -> ShardControl
+    where
+        W: ShardWorld<Ev = E, Handoff = H>,
+        K: ShardHook<W>,
+    {
+        for src in 0..cells.len() {
+            let outbox = std::mem::take(&mut cells[src].outbox);
+            for (dst, at, h) in outbox {
+                let cell = &mut cells[dst];
+                let mut ctx = ShardCtx {
+                    now: window_end,
+                    shard: dst,
+                    window_end,
+                    queue: &mut cell.queue,
+                    outbox: &mut cell.outbox,
+                    clamped: &mut cell.clamped,
+                    stop_scratch: false,
+                };
+                cell.world.apply_handoff(at, h, &mut ctx);
+            }
+        }
+        for (s, cell) in cells.iter_mut().enumerate() {
+            hook.per_shard(s, cell.world);
+        }
+        let next = cells.iter().filter_map(|c| c.queue.peek_time()).min();
+        hook.control(window_end, next)
+    }
+
+    fn run_sequential<W, K>(
+        &mut self,
+        cells: &mut [Cell<'_, W>],
+        horizon: SimTime,
+        hook: &mut K,
+    ) -> ShardRunOutcome
+    where
+        W: ShardWorld<Ev = E, Handoff = H>,
+        K: ShardHook<W>,
+    {
+        loop {
+            let (_, end) = match self.window_bounds(cells, horizon) {
+                Ok(w) => w,
+                Err(out) => {
+                    if out == ShardRunOutcome::HorizonReached {
+                        self.now = horizon;
+                    }
+                    return out;
+                }
+            };
+            for (s, cell) in cells.iter_mut().enumerate() {
+                cell.run_window(s, end);
+            }
+            self.now = end;
+            if Self::barrier_merge(cells, end, hook) == ShardControl::Stop {
+                return ShardRunOutcome::Stopped;
+            }
+        }
+    }
+
+    fn run_threaded<W, K>(
+        &mut self,
+        cells: &mut [Cell<'_, W>],
+        horizon: SimTime,
+        workers: usize,
+        hook: &mut K,
+    ) -> ShardRunOutcome
+    where
+        W: ShardWorld<Ev = E, Handoff = H>,
+        K: ShardHook<W>,
+    {
+        // Window spec shared with the workers: the exclusive end of the
+        // current window, or None to shut down.
+        let spec: Mutex<Option<SimTime>> = Mutex::new(None);
+        let start_barrier = Barrier::new(workers);
+        let end_barrier = Barrier::new(workers);
+        let n = cells.len();
+        let cell_slots: Vec<Mutex<&mut Cell<'_, W>>> = cells.iter_mut().map(Mutex::new).collect();
+
+        let mut outcome = ShardRunOutcome::Drained;
+        std::thread::scope(|scope| {
+            // Workers 1..workers; the coordinator (this thread) is worker 0.
+            let mut handles = Vec::new();
+            for w in 1..workers {
+                let spec = &spec;
+                let start_barrier = &start_barrier;
+                let end_barrier = &end_barrier;
+                let cell_slots = &cell_slots;
+                handles.push(scope.spawn(move || loop {
+                    start_barrier.wait();
+                    let Some(end) = *spec.lock().expect("window spec poisoned") else {
+                        return;
+                    };
+                    for s in (w..n).step_by(workers) {
+                        let mut cell = cell_slots[s].lock().expect("shard cell poisoned");
+                        cell.run_window(s, end);
+                    }
+                    end_barrier.wait();
+                }));
+            }
+
+            loop {
+                // Coordinator: cells are unlocked here (workers are parked
+                // at start_barrier), so locks are uncontended.
+                let bounds = {
+                    let mut times = Vec::with_capacity(n);
+                    for slot in &cell_slots {
+                        times.push(slot.lock().expect("shard cell poisoned").queue.peek_time());
+                    }
+                    match times.into_iter().flatten().min() {
+                        None => Err(ShardRunOutcome::Drained),
+                        Some(t) if t > horizon => Err(ShardRunOutcome::HorizonReached),
+                        Some(t) => Ok((
+                            t,
+                            (t + self.lookahead).min(horizon + SimDuration::from_nanos(1)),
+                        )),
+                    }
+                };
+                let end = match bounds {
+                    Ok((_, end)) => end,
+                    Err(out) => {
+                        if out == ShardRunOutcome::HorizonReached {
+                            self.now = horizon;
+                        }
+                        outcome = out;
+                        *spec.lock().expect("window spec poisoned") = None;
+                        start_barrier.wait();
+                        break;
+                    }
+                };
+                *spec.lock().expect("window spec poisoned") = Some(end);
+                start_barrier.wait();
+                for s in (0..n).step_by(workers) {
+                    let mut cell = cell_slots[s].lock().expect("shard cell poisoned");
+                    cell.run_window(s, end);
+                }
+                end_barrier.wait();
+                // All workers are done with the window and parked on their
+                // way back to start_barrier; merge + hook run exclusively.
+                self.now = end;
+                let control = {
+                    let mut guards: Vec<_> = cell_slots
+                        .iter()
+                        .map(|s| s.lock().expect("shard cell poisoned"))
+                        .collect();
+                    // Rebuild a &mut [Cell] view for the merge.
+                    let mut view: Vec<&mut Cell<'_, W>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    Self::barrier_merge_view(&mut view, end, hook)
+                };
+                if control == ShardControl::Stop {
+                    outcome = ShardRunOutcome::Stopped;
+                    *spec.lock().expect("window spec poisoned") = None;
+                    start_barrier.wait();
+                    break;
+                }
+            }
+            for h in handles {
+                h.join().expect("shard worker panicked");
+            }
+        });
+        outcome
+    }
+
+    /// `barrier_merge` over a view of mutable cell references (the
+    /// threaded path holds the cells behind mutex guards).
+    fn barrier_merge_view<W, K>(
+        cells: &mut [&mut Cell<'_, W>],
+        window_end: SimTime,
+        hook: &mut K,
+    ) -> ShardControl
+    where
+        W: ShardWorld<Ev = E, Handoff = H>,
+        K: ShardHook<W>,
+    {
+        for src in 0..cells.len() {
+            let outbox = std::mem::take(&mut cells[src].outbox);
+            for (dst, at, h) in outbox {
+                let cell = &mut *cells[dst];
+                let mut ctx = ShardCtx {
+                    now: window_end,
+                    shard: dst,
+                    window_end,
+                    queue: &mut cell.queue,
+                    outbox: &mut cell.outbox,
+                    clamped: &mut cell.clamped,
+                    stop_scratch: false,
+                };
+                cell.world.apply_handoff(at, h, &mut ctx);
+            }
+        }
+        for (s, cell) in cells.iter_mut().enumerate() {
+            hook.per_shard(s, cell.world);
+        }
+        let next = cells.iter().filter_map(|c| c.queue.peek_time()).min();
+        hook.control(window_end, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy relay world: each event carries a payload; dispatch logs
+    /// `(time, shard, payload)` and forwards the payload either locally
+    /// (short delay) or to a peer shard (delay >= LOOKAHEAD), for a fixed
+    /// number of bounces. Deterministic by construction.
+    const LOOKAHEAD: u64 = 40;
+
+    #[derive(Clone, Debug)]
+    struct Ball {
+        id: u64,
+        bounces: u32,
+    }
+
+    struct Relay {
+        shard: usize,
+        n_shards: usize,
+        log: Vec<(u64, usize, u64)>,
+    }
+
+    impl Relay {
+        fn bounce(&self, ball: &Ball) -> (usize, u64) {
+            // Pseudo-random but deterministic: destination + delay from the
+            // ball id and bounce count.
+            let h = ball
+                .id
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(ball.bounces as u64);
+            let dst = (h % self.n_shards as u64) as usize;
+            let delay = LOOKAHEAD + (h >> 8) % 100;
+            (dst, delay)
+        }
+    }
+
+    impl ShardWorld for Relay {
+        type Ev = Ball;
+        type Handoff = Ball;
+
+        fn dispatch(&mut self, mut ball: Ball, ctx: &mut ShardCtx<'_, Ball, Ball>) {
+            self.log.push((ctx.now().as_nanos(), self.shard, ball.id));
+            if ball.bounces == 0 {
+                return;
+            }
+            ball.bounces -= 1;
+            let (dst, delay) = self.bounce(&ball);
+            let at = ctx.now() + SimDuration::from_nanos(delay);
+            if dst == self.shard {
+                ctx.at(at, ball);
+            } else {
+                ctx.send(dst, at, ball);
+            }
+        }
+
+        fn apply_handoff(&mut self, at: SimTime, ball: Ball, ctx: &mut ShardCtx<'_, Ball, Ball>) {
+            ctx.at(at, ball);
+        }
+    }
+
+    fn make_worlds(s: usize) -> Vec<Relay> {
+        (0..s)
+            .map(|shard| Relay {
+                shard,
+                n_shards: s,
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    fn seeded_sim(s: usize) -> ShardSim<Ball, Ball> {
+        let mut sim = ShardSim::new(s, SimDuration::from_nanos(LOOKAHEAD));
+        for id in 0..24u64 {
+            sim.seed(
+                (id as usize) % s,
+                SimTime::from_nanos(id * 3),
+                Ball { id, bounces: 50 },
+            );
+        }
+        sim
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_relay(s: usize, workers: usize) -> (Vec<Vec<(u64, usize, u64)>>, u64) {
+        let mut sim = seeded_sim(s);
+        let mut worlds = make_worlds(s);
+        let out = sim.run(&mut worlds, SimTime::MAX, workers, &mut NoHook);
+        assert_eq!(out, ShardRunOutcome::Drained);
+        (
+            worlds.into_iter().map(|w| w.log).collect(),
+            sim.events_processed(),
+        )
+    }
+
+    /// The worker count never changes anything: per-shard dispatch logs are
+    /// bit-identical between 1 worker and N workers.
+    #[test]
+    fn worker_count_invariance() {
+        for s in [2, 3, 4, 7] {
+            let (log1, n1) = run_relay(s, 1);
+            for workers in [2, 3, 8] {
+                let (logn, nn) = run_relay(s, workers);
+                assert_eq!(n1, nn, "s={s} workers={workers}");
+                assert_eq!(log1, logn, "s={s} workers={workers}");
+            }
+        }
+    }
+
+    /// The cross-shard mailbox merge preserves single-queue pop order: a
+    /// sharded run dispatches the same (time, payload) multiset, and for
+    /// every pair of events on the *same* shard, in the same relative
+    /// order as the single-queue reference run.
+    #[test]
+    fn mailbox_merge_matches_single_queue_pop_order() {
+        use crate::engine::{Engine, World};
+
+        // Single-queue reference: same topology, one queue, events tagged
+        // with their home shard.
+        struct RefWorld {
+            n_shards: usize,
+            log: Vec<(u64, usize, u64)>,
+        }
+        impl World for RefWorld {
+            type Ev = (usize, Ball);
+            fn dispatch(
+                &mut self,
+                (shard, mut ball): (usize, Ball),
+                sched: &mut Scheduler<'_, (usize, Ball)>,
+            ) {
+                self.log.push((sched.now().as_nanos(), shard, ball.id));
+                if ball.bounces == 0 {
+                    return;
+                }
+                ball.bounces -= 1;
+                let relay = Relay {
+                    shard,
+                    n_shards: self.n_shards,
+                    log: Vec::new(),
+                };
+                let (dst, delay) = relay.bounce(&ball);
+                sched.after(SimDuration::from_nanos(delay), (dst, ball));
+            }
+        }
+
+        for s in [2, 4] {
+            let (shard_logs, _) = run_relay(s, 3);
+            // Flatten the sharded logs into one timeline ordered by
+            // (time, shard): within one timestamp the canonical merge
+            // order is shard-major, and within (time, shard) the log is
+            // already in local pop order.
+            let mut merged: Vec<(u64, usize, u64)> = shard_logs.iter().flatten().copied().collect();
+            merged.sort_by_key(|&(t, shard, _)| (t, shard));
+
+            let mut engine = Engine::new();
+            let mut rw = RefWorld {
+                n_shards: s,
+                log: Vec::new(),
+            };
+            for id in 0..24u64 {
+                engine.schedule_at(
+                    SimTime::from_nanos(id * 3),
+                    ((id as usize) % s, Ball { id, bounces: 50 }),
+                );
+            }
+            let out = engine.run(&mut rw, SimTime::MAX);
+            assert_eq!(out, crate::engine::RunOutcome::Drained);
+            let mut reference = rw.log;
+            reference.sort_by_key(|&(t, shard, _)| (t, shard));
+            assert_eq!(
+                merged, reference,
+                "s={s}: sharded merge order diverged from single-queue pop order"
+            );
+        }
+    }
+
+    /// Horizon and drain semantics: a horizon mid-run stops with pending
+    /// events; draining and reseeding resumes identically.
+    #[test]
+    fn horizon_stops_and_resumes() {
+        let mut sim = seeded_sim(3);
+        let mut worlds = make_worlds(3);
+        let out = sim.run(&mut worlds, SimTime::from_nanos(500), 2, &mut NoHook);
+        assert_eq!(out, ShardRunOutcome::HorizonReached);
+        assert!(sim.pending() > 0);
+        assert_eq!(sim.now(), SimTime::from_nanos(500));
+        let out = sim.run(&mut worlds, SimTime::MAX, 2, &mut NoHook);
+        assert_eq!(out, ShardRunOutcome::Drained);
+
+        // Full run in one go matches the split run.
+        let (ref_logs, _) = run_relay(3, 1);
+        let split_logs: Vec<_> = worlds.into_iter().map(|w| w.log).collect();
+        assert_eq!(ref_logs, split_logs);
+    }
+
+    /// The hook sees every window barrier and can stop the run.
+    #[test]
+    fn hook_can_stop() {
+        struct StopAfter {
+            windows: u32,
+            stop_at: u32,
+        }
+        impl ShardHook<Relay> for StopAfter {
+            fn control(&mut self, _end: SimTime, _next: Option<SimTime>) -> ShardControl {
+                self.windows += 1;
+                if self.windows >= self.stop_at {
+                    ShardControl::Stop
+                } else {
+                    ShardControl::Continue
+                }
+            }
+        }
+        for workers in [1, 2] {
+            let mut sim = seeded_sim(3);
+            let mut worlds = make_worlds(3);
+            let mut hook = StopAfter {
+                windows: 0,
+                stop_at: 5,
+            };
+            let out = sim.run(&mut worlds, SimTime::MAX, workers, &mut hook);
+            assert_eq!(out, ShardRunOutcome::Stopped);
+            assert_eq!(hook.windows, 5);
+            assert!(sim.pending() > 0, "stopped mid-run");
+        }
+    }
+
+    /// Drain returns each shard's pending set in pop order.
+    #[test]
+    fn drain_returns_pop_order() {
+        let mut sim: ShardSim<u64, ()> = ShardSim::new(2, SimDuration::from_nanos(10));
+        sim.seed(0, SimTime::from_nanos(30), 1);
+        sim.seed(0, SimTime::from_nanos(10), 2);
+        sim.seed(1, SimTime::from_nanos(20), 3);
+        let drained = sim.drain();
+        assert_eq!(
+            drained,
+            vec![
+                (0, SimTime::from_nanos(10), 2),
+                (0, SimTime::from_nanos(30), 1),
+                (1, SimTime::from_nanos(20), 3),
+            ]
+        );
+        assert_eq!(sim.pending(), 0);
+    }
+}
